@@ -1,0 +1,44 @@
+#ifndef TCM_BENCH_BENCH_UTIL_H_
+#define TCM_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction benches. Each bench binary prints
+// one paper artefact (table or figure series) as aligned text/TSV on
+// stdout so `for b in build/bench/*; do $b; done` regenerates the whole
+// evaluation. Environment knobs:
+//   TCM_N     — record count for the patient-discharge benches
+//   TCM_FAST  — nonzero: shrink grids for smoke runs
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace tcm_bench {
+
+// The paper's parameter grids (Tables 1-3: k x t; figures: t at k=2).
+inline std::vector<size_t> PaperKGrid() { return {2, 5, 10, 15, 20, 25, 30}; }
+
+inline std::vector<double> PaperTGrid() {
+  return {0.01, 0.05, 0.09, 0.13, 0.17, 0.21, 0.25};
+}
+
+// Figures 5-6 sweep t in [0.02, 0.25].
+inline std::vector<double> FigureTGrid() {
+  return {0.02, 0.05, 0.09, 0.13, 0.17, 0.21, 0.25};
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline bool FastMode() { return EnvSize("TCM_FAST", 0) != 0; }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("# %s\n", title.c_str());
+}
+
+}  // namespace tcm_bench
+
+#endif  // TCM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,108 @@
+// End-to-end CSV pipeline: the workflow of a data custodian.
+//  1. Export an original microdata set to CSV.
+//  2. Re-load it declaring attribute roles (identifier / QI / confidential).
+//  3. Anonymize with each of the paper's algorithms; keep the best release.
+//  4. Compare against the generalization (global recoding) and Mondrian
+//     baselines, then write the chosen release back to CSV.
+//
+//   ./build/examples/csv_pipeline [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/mondrian.h"
+#include "baseline/recoding.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "microagg/aggregate.h"
+#include "privacy/tcloseness.h"
+#include "tclose/anonymizer.h"
+#include "utility/sse.h"
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp";
+  const std::string original_path = dir + "/census_original.csv";
+  const std::string release_path = dir + "/census_release.csv";
+
+  // 1. Export the original data.
+  tcm::Dataset data = tcm::MakeMcdDataset();
+  if (auto status = tcm::WriteCsv(data, original_path); !status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Load it back with explicit roles, as a custodian would for a file
+  //    received from a third party.
+  auto loaded = tcm::ReadCsv(original_path, data.schema());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu records x %zu attributes from %s\n",
+              loaded->NumRecords(), loaded->NumAttributes(),
+              original_path.c_str());
+
+  // 3. Try all three algorithms, keep the lowest-SSE release.
+  constexpr size_t kK = 4;
+  constexpr double kT = 0.12;
+  tcm::AnonymizerOptions options;
+  options.k = kK;
+  options.t = kT;
+  double best_sse = 2.0;
+  tcm::Dataset best_release;
+  for (tcm::TCloseAlgorithm algorithm :
+       {tcm::TCloseAlgorithm::kMicroaggregationMerge,
+        tcm::TCloseAlgorithm::kKAnonymityFirst,
+        tcm::TCloseAlgorithm::kTClosenessFirst}) {
+    options.algorithm = algorithm;
+    auto result = tcm::Anonymize(*loaded, options);
+    if (!result.ok()) continue;
+    std::printf("  %-24s SSE=%.4f maxEMD=%.4f\n",
+                tcm::TCloseAlgorithmName(algorithm), result->normalized_sse,
+                result->max_cluster_emd);
+    if (result->normalized_sse < best_sse) {
+      best_sse = result->normalized_sse;
+      best_release = std::move(result->anonymized);
+    }
+  }
+
+  // 4. Baselines for comparison.
+  tcm::RecodingOptions recoding_options;
+  recoding_options.t = kT;
+  auto recoded = tcm::GlobalRecodingAnonymize(*loaded, kK, recoding_options);
+  if (recoded.ok()) {
+    auto sse = tcm::NormalizedSse(*loaded, recoded->anonymized);
+    std::printf("  %-24s SSE=%.4f (bins:", "global recoding",
+                sse.ok() ? *sse : -1.0);
+    for (size_t bins : recoded->bins_per_attribute) {
+      std::printf(" %zu", bins);
+    }
+    std::printf(")\n");
+  }
+  tcm::QiSpace space(*loaded);
+  tcm::EmdCalculator emd(*loaded);
+  auto mondrian = tcm::MondrianTClosePartition(space, emd, kK, kT);
+  if (mondrian.ok()) {
+    auto aggregated = tcm::AggregatePartition(*loaded, *mondrian);
+    if (aggregated.ok()) {
+      auto sse = tcm::NormalizedSse(*loaded, *aggregated);
+      std::printf("  %-24s SSE=%.4f\n", "Mondrian (t-close)",
+                  sse.ok() ? *sse : -1.0);
+    }
+  }
+
+  // Publish the winner.
+  auto verified = tcm::IsTClose(best_release, kT);
+  if (!verified.ok() || !*verified) {
+    std::fprintf(stderr, "release failed verification!\n");
+    return 1;
+  }
+  if (auto status = tcm::WriteCsv(best_release, release_path); !status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("released %s (normalized SSE %.4f, verified %.2f-close)\n",
+              release_path.c_str(), best_sse, kT);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Differential-privacy example: the research direction named in the
+// paper's conclusions. Builds an epsilon-DP-style release by
+// microaggregating the quasi-identifiers and publishing noisy centroids,
+// and shows the k/epsilon/utility trade-off on census-like data.
+//
+//   ./build/examples/dp_release
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "dp/dp_release.h"
+#include "utility/info_loss.h"
+#include "utility/sse.h"
+
+int main() {
+  tcm::Dataset data = tcm::MakeMcdDataset();
+  std::printf("census-like data, n=%zu\n\n", data.NumRecords());
+  std::printf("%-8s %-6s %12s %18s\n", "epsilon", "k", "SSE",
+              "corr. MAD (QIs)");
+  for (double epsilon : {0.2, 1.0, 5.0}) {
+    for (size_t k : {5u, 25u}) {
+      tcm::DpReleaseOptions options;
+      options.k = k;
+      options.epsilon = epsilon;
+      options.seed = 99;
+      auto result = tcm::DpMicroaggregationRelease(data, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "release failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      auto sse = tcm::NormalizedSse(data, result->released);
+      auto stats = tcm::EvaluateStatisticsPreservation(data, result->released);
+      std::printf("%-8.1f %-6zu %12.5f %18.4f\n", epsilon, k,
+                  sse.ok() ? *sse : -1.0,
+                  stats.ok() ? stats->correlation_mad : -1.0);
+    }
+  }
+  std::printf(
+      "\nNote: larger k lowers centroid sensitivity (range/k), so at small\n"
+      "epsilon the bigger clusters give the better utility — the effect\n"
+      "the microaggregation-DP line of work exploits.\n");
+  return 0;
+}

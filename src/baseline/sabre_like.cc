@@ -1,0 +1,39 @@
+#include "baseline/sabre_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distance/emd_bounds.h"
+#include "tclose/tclose_first.h"
+
+namespace tcm {
+
+Result<Partition> SabreLikePartition(const QiSpace& space,
+                                     const EmdCalculator& emd, size_t k,
+                                     double t, const SabreLikeOptions& options,
+                                     SabreLikeStats* stats) {
+  const size_t n = space.num_records();
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds number of records " +
+                                   std::to_string(n));
+  }
+  if (t < 0.0) return Status::InvalidArgument("t must be non-negative");
+  if (options.bucket_oversampling < 1.0) {
+    return Status::InvalidArgument("bucket_oversampling must be >= 1");
+  }
+
+  size_t analytic = RequiredClusterSize(n, k, t);
+  size_t buckets = static_cast<size_t>(
+      std::ceil(options.bucket_oversampling * static_cast<double>(analytic)));
+  buckets = std::max(buckets, k);
+  buckets = AdjustClusterSizeForRemainder(n, std::min(buckets, n));
+  if (stats != nullptr) {
+    stats->buckets = buckets;
+    stats->analytic_k = analytic;
+  }
+  return SubsetDrawPartition(space, emd, buckets);
+}
+
+}  // namespace tcm

@@ -1,0 +1,64 @@
+#ifndef TCM_COMMON_CHECK_H_
+#define TCM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tcm {
+namespace internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the TCM_CHECK* macros; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "TCM_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace tcm
+
+// Aborts with a message when `cond` is false. For programming errors
+// (invariant violations), not for recoverable conditions — those use Status.
+#define TCM_CHECK(cond)                                     \
+  if (cond) {                                               \
+  } else /* NOLINT */                                       \
+    ::tcm::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define TCM_CHECK_EQ(a, b) TCM_CHECK((a) == (b))
+#define TCM_CHECK_NE(a, b) TCM_CHECK((a) != (b))
+#define TCM_CHECK_LT(a, b) TCM_CHECK((a) < (b))
+#define TCM_CHECK_LE(a, b) TCM_CHECK((a) <= (b))
+#define TCM_CHECK_GT(a, b) TCM_CHECK((a) > (b))
+#define TCM_CHECK_GE(a, b) TCM_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define TCM_DCHECK(cond) TCM_CHECK(cond)
+#else
+#define TCM_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    ::tcm::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+#endif
+
+#endif  // TCM_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+#ifndef TCM_COMMON_RESULT_H_
+#define TCM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace tcm {
+
+// Result<T> holds either a value of type T or an error Status, similar to
+// absl::StatusOr<T>. Accessing the value of an error Result aborts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return 42;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TCM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TCM_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TCM_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TCM_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+}  // namespace tcm
+
+// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define TCM_ASSIGN_OR_RETURN(lhs, expr) \
+  TCM_ASSIGN_OR_RETURN_IMPL_(TCM_MACRO_CONCAT_(tcm_result_tmp_, __LINE__), \
+                             lhs, expr)
+
+#define TCM_MACRO_CONCAT_INNER_(a, b) a##b
+#define TCM_MACRO_CONCAT_(a, b) TCM_MACRO_CONCAT_INNER_(a, b)
+#define TCM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // TCM_COMMON_RESULT_H_

@@ -1,0 +1,88 @@
+#ifndef TCM_COMMON_STATUS_H_
+#define TCM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tcm {
+
+// Error categories used across the library. The set is deliberately small:
+// callers branch on "did it work" far more often than on the precise cause.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // a looked-up entity does not exist
+  kFailedPrecondition = 3,// object state does not allow the operation
+  kOutOfRange = 4,        // index/parameter outside the valid range
+  kInternal = 5,          // invariant violation inside the library
+  kIoError = 6,           // file system / parsing failure
+  kUnimplemented = 7,     // feature intentionally not available
+};
+
+// Returns a stable, human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Lightweight status object: either OK (no allocation) or an error with a
+// code and message. The library does not use exceptions; every fallible
+// public operation returns Status or Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace tcm
+
+// Propagates an error Status from an expression, mirroring absl's macro.
+#define TCM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tcm::Status tcm_status_tmp_ = (expr);        \
+    if (!tcm_status_tmp_.ok()) return tcm_status_tmp_; \
+  } while (false)
+
+#endif  // TCM_COMMON_STATUS_H_

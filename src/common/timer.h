@@ -1,0 +1,30 @@
+#ifndef TCM_COMMON_TIMER_H_
+#define TCM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tcm {
+
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  // Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_COMMON_TIMER_H_

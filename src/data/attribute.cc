@@ -1,0 +1,66 @@
+#include "data/attribute.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace tcm {
+
+const char* AttributeRoleName(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kIdentifier:
+      return "identifier";
+    case AttributeRole::kQuasiIdentifier:
+      return "quasi-identifier";
+    case AttributeRole::kConfidential:
+      return "confidential";
+    case AttributeRole::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kOrdinal:
+      return "ordinal";
+    case AttributeType::kNominal:
+      return "nominal";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+const Attribute& Schema::at(size_t index) const {
+  TCM_CHECK_LT(index, attributes_.size());
+  return attributes_[index];
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+std::vector<size_t> Schema::IndicesWithRole(AttributeRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Schema> Schema::WithRole(const std::string& name,
+                                AttributeRole role) const {
+  TCM_ASSIGN_OR_RETURN(size_t index, IndexOf(name));
+  std::vector<Attribute> updated = attributes_;
+  updated[index].role = role;
+  return Schema(std::move(updated));
+}
+
+}  // namespace tcm

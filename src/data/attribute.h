@@ -1,0 +1,74 @@
+#ifndef TCM_DATA_ATTRIBUTE_H_
+#define TCM_DATA_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tcm {
+
+// Statistical-disclosure-control attribute taxonomy (Hundepool et al. 2012).
+enum class AttributeRole {
+  kIdentifier,       // directly identifying (name, SSN); dropped on release
+  kQuasiIdentifier,  // externally linkable (age, zip); masked
+  kConfidential,     // the sensitive payload (diagnosis, income)
+  kOther,            // released as-is
+};
+
+enum class AttributeType {
+  kNumeric,  // continuous or integer-valued, totally ordered
+  kOrdinal,  // categorical with a meaningful order (education level)
+  kNominal,  // categorical without order (job, diagnosis)
+};
+
+const char* AttributeRoleName(AttributeRole role);
+const char* AttributeTypeName(AttributeType type);
+
+// Description of one column: name, type, SDC role and — for categorical
+// attributes — the category labels (the Value code indexes this list).
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kNumeric;
+  AttributeRole role = AttributeRole::kOther;
+  std::vector<std::string> categories;  // empty for numeric attributes
+
+  bool is_categorical() const { return type != AttributeType::kNumeric; }
+};
+
+// An ordered collection of attributes with name lookup and role queries.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& at(size_t index) const;
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  // Indices of all attributes with the given role, in schema order.
+  std::vector<size_t> IndicesWithRole(AttributeRole role) const;
+
+  std::vector<size_t> QuasiIdentifierIndices() const {
+    return IndicesWithRole(AttributeRole::kQuasiIdentifier);
+  }
+  std::vector<size_t> ConfidentialIndices() const {
+    return IndicesWithRole(AttributeRole::kConfidential);
+  }
+
+  // Returns a copy of this schema with the role of `name` replaced.
+  // NotFound if no attribute has that name.
+  Result<Schema> WithRole(const std::string& name, AttributeRole role) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_DATA_ATTRIBUTE_H_

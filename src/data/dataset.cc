@@ -1,0 +1,145 @@
+#include "data/dataset.h"
+
+#include <utility>
+
+namespace tcm {
+namespace {
+
+bool KindMatchesType(const Value& value, const Attribute& attribute) {
+  return attribute.is_categorical() ? value.is_categorical()
+                                    : value.is_numeric();
+}
+
+}  // namespace
+
+Status Dataset::Append(Record record) {
+  if (record.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(record.size()) +
+        " does not match schema arity " + std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (!KindMatchesType(record[i], schema_.at(i))) {
+      return Status::InvalidArgument("cell kind mismatch for attribute '" +
+                                     schema_.at(i).name + "'");
+    }
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+Status Dataset::SetCell(size_t row, size_t col, Value value) {
+  if (row >= records_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  if (col >= schema_.size()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  if (!KindMatchesType(value, schema_.at(col))) {
+    return Status::InvalidArgument("cell kind mismatch for attribute '" +
+                                   schema_.at(col).name + "'");
+  }
+  records_[row][col] = value;
+  return Status::Ok();
+}
+
+std::vector<double> Dataset::ColumnAsDouble(size_t col) const {
+  TCM_CHECK_LT(col, schema_.size());
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const Record& r : records_) out.push_back(r[col].AsDouble());
+  return out;
+}
+
+Result<Dataset> Dataset::Project(const std::vector<size_t>& columns) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(columns.size());
+  for (size_t col : columns) {
+    if (col >= schema_.size()) {
+      return Status::OutOfRange("column " + std::to_string(col) +
+                                " out of range");
+    }
+    attrs.push_back(schema_.at(col));
+  }
+  Dataset out{Schema(std::move(attrs))};
+  for (const Record& r : records_) {
+    Record projected;
+    projected.reserve(columns.size());
+    for (size_t col : columns) projected.push_back(r[col]);
+    TCM_RETURN_IF_ERROR(out.Append(std::move(projected)));
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::Select(const std::vector<size_t>& rows) const {
+  Dataset out{schema_};
+  for (size_t row : rows) {
+    if (row >= records_.size()) {
+      return Status::OutOfRange("row " + std::to_string(row) +
+                                " out of range");
+    }
+    TCM_RETURN_IF_ERROR(out.Append(records_[row]));
+  }
+  return out;
+}
+
+Status Dataset::ReplaceSchema(Schema schema) {
+  if (schema.size() != schema_.size()) {
+    return Status::InvalidArgument("schema arity mismatch");
+  }
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.at(i).name != schema_.at(i).name ||
+        schema.at(i).type != schema_.at(i).type) {
+      return Status::InvalidArgument("schema name/type mismatch at index " +
+                                     std::to_string(i));
+    }
+  }
+  schema_ = std::move(schema);
+  return Status::Ok();
+}
+
+bool operator==(const Dataset& a, const Dataset& b) {
+  if (a.schema_.size() != b.schema_.size()) return false;
+  for (size_t i = 0; i < a.schema_.size(); ++i) {
+    const Attribute& lhs = a.schema_.at(i);
+    const Attribute& rhs = b.schema_.at(i);
+    if (lhs.name != rhs.name || lhs.type != rhs.type || lhs.role != rhs.role) {
+      return false;
+    }
+  }
+  return a.records_ == b.records_;
+}
+
+Result<Dataset> DatasetFromColumns(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<AttributeRole>& roles) {
+  if (names.size() != columns.size() || names.size() != roles.size()) {
+    return Status::InvalidArgument(
+        "names, columns and roles must have the same size");
+  }
+  if (columns.empty()) return Status::InvalidArgument("no columns given");
+  const size_t n = columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != n) {
+      return Status::InvalidArgument("columns must have equal length");
+    }
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    attrs.push_back(
+        Attribute{names[i], AttributeType::kNumeric, roles[i], {}});
+  }
+  Dataset out{Schema(std::move(attrs))};
+  for (size_t row = 0; row < n; ++row) {
+    Record r;
+    r.reserve(columns.size());
+    for (const auto& col : columns) r.push_back(Value::Numeric(col[row]));
+    TCM_RETURN_IF_ERROR(out.Append(std::move(r)));
+  }
+  return out;
+}
+
+}  // namespace tcm

@@ -1,0 +1,81 @@
+#ifndef TCM_DATA_DATASET_H_
+#define TCM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/attribute.h"
+#include "data/value.h"
+
+namespace tcm {
+
+// One row of a microdata table.
+using Record = std::vector<Value>;
+
+// Row-store microdata table: a Schema plus n records, each with one Value
+// per attribute. This is the substrate every algorithm in the library
+// operates on. Mutations validate against the schema; cell access is
+// unchecked in release builds for speed.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t NumRecords() const { return records_.size(); }
+  size_t NumAttributes() const { return schema_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // Appends a record; InvalidArgument if the arity or any cell kind does
+  // not match the schema.
+  Status Append(Record record);
+
+  const Record& record(size_t row) const {
+    TCM_DCHECK(row < records_.size());
+    return records_[row];
+  }
+
+  const Value& cell(size_t row, size_t col) const {
+    TCM_DCHECK(row < records_.size());
+    TCM_DCHECK(col < schema_.size());
+    return records_[row][col];
+  }
+
+  // Overwrites one cell; kind must match the attribute type.
+  Status SetCell(size_t row, size_t col, Value value);
+
+  // Column `col` as doubles (category codes cast). Useful for statistics
+  // and distance computations.
+  std::vector<double> ColumnAsDouble(size_t col) const;
+
+  // New dataset containing only the given attribute columns (in the given
+  // order); OutOfRange on a bad index.
+  Result<Dataset> Project(const std::vector<size_t>& columns) const;
+
+  // New dataset containing only the given rows; OutOfRange on a bad index.
+  Result<Dataset> Select(const std::vector<size_t>& rows) const;
+
+  // Replaces the schema roles; the attribute list must be otherwise
+  // identical (same names/types), or InvalidArgument.
+  Status ReplaceSchema(Schema schema);
+
+  // Deep equality (schema names/types/roles and all cells).
+  friend bool operator==(const Dataset& a, const Dataset& b);
+
+ private:
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+// Builds a dataset from named numeric columns of equal length.
+// InvalidArgument if lengths differ or `names`/`columns` sizes mismatch.
+Result<Dataset> DatasetFromColumns(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<AttributeRole>& roles);
+
+}  // namespace tcm
+
+#endif  // TCM_DATA_DATASET_H_

@@ -1,0 +1,164 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tcm {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double mean = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Range(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  return *hi - *lo;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  TCM_CHECK(!xs.empty());
+  TCM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  double position = q * static_cast<double>(xs.size() - 1);
+  size_t lower = static_cast<size_t>(position);
+  size_t upper = std::min(lower + 1, xs.size() - 1);
+  double fraction = position - static_cast<double>(lower);
+  return xs[lower] * (1.0 - fraction) + xs[upper] * fraction;
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  TCM_CHECK_EQ(xs.size(), ys.size());
+  if (xs.empty()) return 0.0;
+  double mx = Mean(xs), my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order = SortOrder(xs);
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // positions i..j (0-based) tie; average 1-based rank.
+    double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1;
+    for (size_t p = i; p <= j; ++p) ranks[order[p]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  return PearsonCorrelation(AverageRanks(xs), AverageRanks(ys));
+}
+
+std::vector<size_t> SortOrder(const std::vector<double>& xs) {
+  std::vector<size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  return order;
+}
+
+bool SolveLinearSystem(std::vector<std::vector<double>> a,
+                       std::vector<double> b, std::vector<double>* x) {
+  const size_t d = b.size();
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < d; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    double inv = 1.0 / a[col][col];
+    for (size_t j = col; j < d; ++j) a[col][j] *= inv;
+    b[col] *= inv;
+    for (size_t row = 0; row < d; ++row) {
+      if (row == col) continue;
+      double factor = a[row][col];
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < d; ++j) a[row][j] -= factor * a[col][j];
+      b[row] -= factor * b[col];
+    }
+  }
+  *x = std::move(b);
+  return true;
+}
+
+double QiConfidentialCorrelation(const Dataset& data,
+                                 size_t confidential_offset) {
+  std::vector<size_t> qi = data.schema().QuasiIdentifierIndices();
+  std::vector<size_t> conf = data.schema().ConfidentialIndices();
+  if (qi.empty() || confidential_offset >= conf.size() ||
+      data.NumRecords() < 2) {
+    return 0.0;
+  }
+  std::vector<double> y = data.ColumnAsDouble(conf[confidential_offset]);
+  std::vector<std::vector<double>> x;
+  x.reserve(qi.size());
+  for (size_t col : qi) x.push_back(data.ColumnAsDouble(col));
+
+  const size_t d = qi.size();
+  // Correlation matrix among QIs and correlation vector with the target.
+  std::vector<std::vector<double>> rxx(d, std::vector<double>(d, 0.0));
+  std::vector<double> rxy(d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    rxx[i][i] = 1.0;
+    for (size_t j = i + 1; j < d; ++j) {
+      rxx[i][j] = rxx[j][i] = PearsonCorrelation(x[i], x[j]);
+    }
+    rxy[i] = PearsonCorrelation(x[i], y);
+  }
+  std::vector<double> beta;
+  if (!SolveLinearSystem(rxx, rxy, &beta)) {
+    // Degenerate QI correlation matrix: fall back to the strongest single
+    // QI correlation, which is the R value for that reduced predictor.
+    double best = 0.0;
+    for (double r : rxy) best = std::max(best, std::fabs(r));
+    return best;
+  }
+  double r_squared = 0.0;
+  for (size_t i = 0; i < d; ++i) r_squared += beta[i] * rxy[i];
+  return std::sqrt(std::clamp(r_squared, 0.0, 1.0));
+}
+
+}  // namespace tcm

@@ -1,0 +1,92 @@
+#include "data/summary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "data/stats.h"
+
+namespace tcm {
+
+Result<DatasetSummary> SummarizeDataset(const Dataset& data) {
+  if (data.NumRecords() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  DatasetSummary summary;
+  summary.records = data.NumRecords();
+  for (size_t col = 0; col < data.NumAttributes(); ++col) {
+    const Attribute& attr = data.schema().at(col);
+    std::vector<double> values = data.ColumnAsDouble(col);
+    AttributeSummary out;
+    out.name = attr.name;
+    out.type = AttributeTypeName(attr.type);
+    out.role = AttributeRoleName(attr.role);
+    out.min = Min(values);
+    out.max = Max(values);
+    out.mean = Mean(values);
+    out.stddev = StdDev(values);
+    out.median = Median(values);
+    out.distinct_values =
+        std::set<double>(values.begin(), values.end()).size();
+    summary.attributes.push_back(std::move(out));
+  }
+  size_t confidential_count = data.schema().ConfidentialIndices().size();
+  for (size_t offset = 0; offset < confidential_count; ++offset) {
+    summary.qi_confidential_correlation.push_back(
+        QiConfidentialCorrelation(data, offset));
+  }
+  return summary;
+}
+
+Result<std::vector<size_t>> ColumnHistogram(const Dataset& data, size_t col,
+                                            size_t bins) {
+  if (col >= data.NumAttributes()) {
+    return Status::OutOfRange("column out of range");
+  }
+  if (bins == 0) return Status::InvalidArgument("bins must be positive");
+  if (data.NumRecords() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  std::vector<double> values = data.ColumnAsDouble(col);
+  double lo = Min(values);
+  double width = Range(values);
+  std::vector<size_t> histogram(bins, 0);
+  for (double v : values) {
+    size_t bin = 0;
+    if (width > 0.0) {
+      bin = std::min(bins - 1,
+                     static_cast<size_t>((v - lo) / width *
+                                         static_cast<double>(bins)));
+    }
+    ++histogram[bin];
+  }
+  return histogram;
+}
+
+std::string FormatSummary(const DatasetSummary& summary) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "records: %zu\n", summary.records);
+  out += line;
+  std::snprintf(line, sizeof(line), "%-16s %-8s %-16s %12s %12s %12s %12s %9s\n",
+                "attribute", "type", "role", "min", "max", "mean", "stddev",
+                "distinct");
+  out += line;
+  for (const AttributeSummary& attr : summary.attributes) {
+    std::snprintf(line, sizeof(line),
+                  "%-16s %-8s %-16s %12.2f %12.2f %12.2f %12.2f %9zu\n",
+                  attr.name.c_str(), attr.type.c_str(), attr.role.c_str(),
+                  attr.min, attr.max, attr.mean, attr.stddev,
+                  attr.distinct_values);
+    out += line;
+  }
+  for (size_t i = 0; i < summary.qi_confidential_correlation.size(); ++i) {
+    std::snprintf(line, sizeof(line),
+                  "QI<->confidential[%zu] multiple correlation R = %.3f\n", i,
+                  summary.qi_confidential_correlation[i]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tcm

@@ -1,0 +1,72 @@
+#ifndef TCM_DATA_VALUE_H_
+#define TCM_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace tcm {
+
+// A single cell of a microdata table. Numeric cells carry a double;
+// categorical cells carry an integer category code whose meaning (label,
+// ordering) lives in the attribute schema. Keeping the value this small
+// (16 bytes) matters: microaggregation touches every cell many times.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNumeric, kCategorical };
+
+  // Default: numeric zero, so vectors of Value are cheaply resizable.
+  Value() : kind_(Kind::kNumeric), numeric_(0.0) {}
+
+  static Value Numeric(double v) {
+    Value out;
+    out.kind_ = Kind::kNumeric;
+    out.numeric_ = v;
+    return out;
+  }
+
+  static Value Categorical(int32_t code) {
+    Value out;
+    out.kind_ = Kind::kCategorical;
+    out.category_ = code;
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_numeric() const { return kind_ == Kind::kNumeric; }
+  bool is_categorical() const { return kind_ == Kind::kCategorical; }
+
+  double numeric() const {
+    TCM_DCHECK(is_numeric());
+    return numeric_;
+  }
+
+  int32_t category() const {
+    TCM_DCHECK(is_categorical());
+    return category_;
+  }
+
+  // Uniform numeric view: category codes are exposed as doubles so that
+  // distance and centroid code can treat ordinal attributes numerically.
+  double AsDouble() const {
+    return is_numeric() ? numeric_ : static_cast<double>(category_);
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    return a.is_numeric() ? a.numeric_ == b.numeric_
+                          : a.category_ == b.category_;
+  }
+
+ private:
+  Kind kind_;
+  union {
+    double numeric_;
+    int32_t category_;
+  };
+};
+
+}  // namespace tcm
+
+#endif  // TCM_DATA_VALUE_H_

@@ -1,0 +1,48 @@
+#include "distance/emd_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tcm {
+
+double MinClusterEmd(size_t n, size_t k) {
+  TCM_CHECK_GE(k, 1u);
+  TCM_CHECK_LE(k, n);
+  TCM_CHECK_GT(n, 1u);
+  double nd = static_cast<double>(n), kd = static_cast<double>(k);
+  return (nd + kd) * (nd - kd) / (4.0 * nd * (nd - 1.0) * kd);
+}
+
+double MaxClusterEmdOnePerSubset(size_t n, size_t k) {
+  TCM_CHECK_GE(k, 1u);
+  TCM_CHECK_LE(k, n);
+  TCM_CHECK_GT(n, 1u);
+  double nd = static_cast<double>(n), kd = static_cast<double>(k);
+  return (nd - kd) / (2.0 * (nd - 1.0) * kd);
+}
+
+size_t RequiredClusterSize(size_t n, size_t k, double t) {
+  TCM_CHECK_GE(k, 1u);
+  TCM_CHECK_GT(n, 1u);
+  if (t <= 0.0) return n;
+  double nd = static_cast<double>(n);
+  double bound = nd / (2.0 * (nd - 1.0) * t + 1.0);
+  size_t k_t = static_cast<size_t>(std::ceil(bound - 1e-12));
+  return std::min(n, std::max(k, k_t));
+}
+
+size_t AdjustClusterSizeForRemainder(size_t n, size_t k) {
+  TCM_CHECK_GE(k, 1u);
+  TCM_CHECK_LE(k, n);
+  while (k < n && (n % k) > (n / k)) {
+    // Eq. (4): distribute the remainder over the clusters; at least one
+    // more record per cluster is needed.
+    size_t increment = std::max<size_t>(1, (n % k) / (n / k));
+    k += increment;
+  }
+  return std::min(k, n);
+}
+
+}  // namespace tcm

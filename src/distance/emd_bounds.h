@@ -1,0 +1,38 @@
+#ifndef TCM_DISTANCE_EMD_BOUNDS_H_
+#define TCM_DISTANCE_EMD_BOUNDS_H_
+
+#include <cstddef>
+
+namespace tcm {
+
+// Analytic EMD bounds from the paper (Section 7). All take the data set
+// size n and a cluster size k with 1 <= k <= n.
+
+// Proposition 1: the smallest EMD any cluster of size k can achieve
+// against a data set of n rankable records,
+//   min EMD = (n + k)(n - k) / (4 n (n - 1) k).
+// Tight when k divides n (cluster = medians of the k equal subsets).
+double MinClusterEmd(size_t n, size_t k);
+
+// Proposition 2: the largest EMD of a cluster holding exactly one record
+// from each of the k equal-frequency subsets of the sort order,
+//   max EMD = (n - k) / (2 (n - 1) k).
+double MaxClusterEmdOnePerSubset(size_t n, size_t k);
+
+// Equation (3): the minimum cluster size guaranteeing that any
+// one-record-per-subset cluster is t-close,
+//   k* = max{ k, ceil(n / (2 (n - 1) t + 1)) }.
+// t <= 0 collapses to a single cluster (returns n).
+size_t RequiredClusterSize(size_t n, size_t k, double t);
+
+// Equation (4): enlarges k until the leftover records (n mod k) do not
+// outnumber the clusters (floor(n/k)), so every leftover can be absorbed
+// by giving one extra record to some cluster. The paper states this as a
+// single floor/ceil increment; we iterate, which agrees with the paper on
+// every n, k it considers and is robust when one increment is not enough.
+// Result is capped at n.
+size_t AdjustClusterSizeForRemainder(size_t n, size_t k);
+
+}  // namespace tcm
+
+#endif  // TCM_DISTANCE_EMD_BOUNDS_H_

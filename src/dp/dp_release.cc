@@ -1,0 +1,65 @@
+#include "dp/dp_release.h"
+
+#include <vector>
+
+#include "data/stats.h"
+#include "distance/qi_space.h"
+#include "dp/laplace.h"
+
+namespace tcm {
+
+Result<DpReleaseResult> DpMicroaggregationRelease(
+    const Dataset& data, const DpReleaseOptions& options) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.k == 0 || options.k > data.NumRecords()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  std::vector<size_t> qi = data.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  for (size_t col : qi) {
+    if (data.schema().at(col).is_categorical()) {
+      return Status::Unimplemented(
+          "DP release supports numeric quasi-identifiers only");
+    }
+  }
+
+  QiSpace space(data);
+  TCM_ASSIGN_OR_RETURN(Partition partition,
+                       Microaggregate(space, options.k, options.microagg));
+
+  // Budget split evenly across the QI attributes (L1 composition).
+  const double epsilon_per_attribute =
+      options.epsilon / static_cast<double>(qi.size());
+
+  DpReleaseResult result{data, options.epsilon, 0.0, partition.NumClusters()};
+  LaplaceSampler sampler(options.seed);
+  for (size_t j = 0; j < qi.size(); ++j) {
+    std::vector<double> column = data.ColumnAsDouble(qi[j]);
+    double range = Range(column);
+    for (const Cluster& cluster : partition.clusters) {
+      // Mean of |cluster| >= k records: one record moves it by at most
+      // range / |cluster|.
+      double sensitivity = range / static_cast<double>(cluster.size());
+      double mean = 0.0;
+      for (size_t row : cluster) mean += column[row];
+      mean /= static_cast<double>(cluster.size());
+      double noisy = mean;
+      if (range > 0.0) {
+        double scale = sensitivity / epsilon_per_attribute;
+        noisy += sampler.Sample(scale);
+        result.per_attribute_scale_sum += scale;
+      }
+      for (size_t row : cluster) {
+        TCM_RETURN_IF_ERROR(
+            result.released.SetCell(row, qi[j], Value::Numeric(noisy)));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tcm

@@ -1,0 +1,50 @@
+#ifndef TCM_DP_DP_RELEASE_H_
+#define TCM_DP_DP_RELEASE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "microagg/microagg.h"
+
+namespace tcm {
+
+// Microaggregation-based epsilon-differential privacy, the continuation
+// the paper names in its conclusions (Soria-Comas et al., VLDB J. 2014:
+// "Enhancing data utility in differential privacy via microaggregation-
+// based k-anonymity"). The idea: first microaggregate into clusters of k
+// records, then release the cluster centroids through the Laplace
+// mechanism. Because a centroid is a mean of k records, one individual's
+// contribution to it is bounded by range/k, so the noise needed for a
+// given epsilon shrinks linearly in k — that is the utility gain over
+// naive record-level DP.
+//
+// Caveat (documented, as in the original work): the sensitivity argument
+// assumes an *insensitive* microaggregation whose cluster composition
+// changes by at most one record per neighbouring data set. MDAV does not
+// strictly satisfy this; the release should be read as the utility model
+// of the cited paper rather than a formally airtight DP mechanism. The
+// benches use it to show the epsilon/k/utility trade-off shape.
+
+struct DpReleaseOptions {
+  size_t k = 10;            // microaggregation cluster size
+  double epsilon = 1.0;     // total privacy budget for the QI block
+  uint64_t seed = 1;        // Laplace noise seed (deterministic release)
+  MicroaggOptions microagg; // which heuristic builds the clusters
+};
+
+struct DpReleaseResult {
+  Dataset released;          // QIs replaced by noisy centroids
+  double epsilon = 0.0;
+  double per_attribute_scale_sum = 0.0;  // total Laplace scale applied
+  size_t clusters = 0;
+};
+
+// InvalidArgument if epsilon <= 0, k == 0 or k > n, or the dataset has no
+// quasi-identifiers.
+Result<DpReleaseResult> DpMicroaggregationRelease(
+    const Dataset& data, const DpReleaseOptions& options = {});
+
+}  // namespace tcm
+
+#endif  // TCM_DP_DP_RELEASE_H_

@@ -1,0 +1,20 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tcm {
+
+double LaplaceSampler::Sample(double scale) {
+  TCM_CHECK_GT(scale, 0.0);
+  // Inverse CDF: u uniform in (-1/2, 1/2),
+  // x = -scale * sign(u) * ln(1 - 2|u|).
+  double u = rng_.NextDouble() - 0.5;
+  // Guard against ln(0) when u is exactly +/- 0.5 (NextDouble < 1).
+  double magnitude = std::min(std::fabs(u), 0.5 - 1e-17);
+  double draw = -scale * std::log(1.0 - 2.0 * magnitude);
+  return u < 0 ? -draw : draw;
+}
+
+}  // namespace tcm

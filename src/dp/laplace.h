@@ -1,0 +1,28 @@
+#ifndef TCM_DP_LAPLACE_H_
+#define TCM_DP_LAPLACE_H_
+
+#include "common/rng.h"
+
+namespace tcm {
+
+// Laplace(0, scale) sampler via inverse-CDF over the library Rng; the
+// building block of the epsilon-differentially-private release below.
+class LaplaceSampler {
+ public:
+  explicit LaplaceSampler(uint64_t seed) : rng_(seed) {}
+
+  // One draw from Laplace(0, scale); scale must be positive.
+  double Sample(double scale);
+
+  // Convenience: noise calibrated to sensitivity/epsilon.
+  double SampleForSensitivity(double sensitivity, double epsilon) {
+    return Sample(sensitivity / epsilon);
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_DP_LAPLACE_H_

@@ -1,0 +1,33 @@
+#ifndef TCM_MICROAGG_CHUNKED_H_
+#define TCM_MICROAGG_CHUNKED_H_
+
+#include "common/result.h"
+#include "distance/qi_space.h"
+#include "microagg/microagg.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+struct ChunkedOptions {
+  // Records per chunk. MDAV is O(m^2) within a chunk, so the total cost
+  // is O(n * chunk_size): chunk_size trades SSE for speed. Must be at
+  // least 3k to give MDAV room to work; it is clamped up if not.
+  size_t chunk_size = 2048;
+  // Heuristic applied within each chunk.
+  MicroaggOptions inner;
+};
+
+// Chunked microaggregation for large data sets (the scalability concern
+// behind the paper's Fig. 5): orders records by their first principal
+// component, slices that order into chunks, and microaggregates each
+// chunk independently. Neighbouring records in PC order are usually
+// neighbours in QI space, so the partition quality degrades gracefully
+// while the quadratic MDAV cost drops to O(n * chunk_size).
+//
+// InvalidArgument if k == 0 or k > n or chunk_size == 0.
+Result<Partition> ChunkedMicroaggregation(const QiSpace& space, size_t k,
+                                          const ChunkedOptions& options = {});
+
+}  // namespace tcm
+
+#endif  // TCM_MICROAGG_CHUNKED_H_

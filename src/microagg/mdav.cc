@@ -1,0 +1,75 @@
+#include "microagg/mdav.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tcm {
+namespace {
+
+// Removes `cluster` members from `remaining` (order preserved).
+void RemoveRows(const Cluster& cluster, std::vector<size_t>* remaining) {
+  std::vector<bool> in_cluster_lookup;
+  // Clusters are tiny relative to n; a sorted probe is cheap and avoids an
+  // O(n) bitmap rebuild per call only when clusters are large. Simplicity
+  // wins: use a bitmap sized to the max index.
+  size_t max_index = 0;
+  for (size_t row : *remaining) max_index = std::max(max_index, row);
+  in_cluster_lookup.assign(max_index + 1, false);
+  for (size_t row : cluster) {
+    if (row <= max_index) in_cluster_lookup[row] = true;
+  }
+  std::erase_if(*remaining,
+                [&](size_t row) { return in_cluster_lookup[row]; });
+}
+
+}  // namespace
+
+Result<Partition> Mdav(const QiSpace& space, size_t k) {
+  std::vector<size_t> all(space.num_records());
+  std::iota(all.begin(), all.end(), 0);
+  return MdavOnRows(space, std::move(all), k);
+}
+
+Result<Partition> MdavOnRows(const QiSpace& space, std::vector<size_t> rows,
+                             size_t k) {
+  const size_t n = rows.size();
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds number of records " +
+                                   std::to_string(n));
+  }
+
+  Partition partition;
+  std::vector<size_t> remaining = std::move(rows);
+
+  while (remaining.size() >= 3 * k) {
+    std::vector<double> centroid = space.Centroid(remaining);
+    size_t extreme_r = space.FarthestFromPoint(remaining, centroid);
+    Cluster cluster_r = space.NearestToRecord(remaining, extreme_r, k);
+    RemoveRows(cluster_r, &remaining);
+    partition.clusters.push_back(std::move(cluster_r));
+
+    const double* extreme_point = space.point(extreme_r);
+    std::vector<double> extreme_coords(extreme_point,
+                                       extreme_point + space.num_dims());
+    size_t extreme_s = space.FarthestFromPoint(remaining, extreme_coords);
+    Cluster cluster_s = space.NearestToRecord(remaining, extreme_s, k);
+    RemoveRows(cluster_s, &remaining);
+    partition.clusters.push_back(std::move(cluster_s));
+  }
+
+  if (remaining.size() >= 2 * k) {
+    std::vector<double> centroid = space.Centroid(remaining);
+    size_t extreme_r = space.FarthestFromPoint(remaining, centroid);
+    Cluster cluster_r = space.NearestToRecord(remaining, extreme_r, k);
+    RemoveRows(cluster_r, &remaining);
+    partition.clusters.push_back(std::move(cluster_r));
+  }
+  if (!remaining.empty()) {
+    partition.clusters.push_back(std::move(remaining));
+  }
+  return partition;
+}
+
+}  // namespace tcm

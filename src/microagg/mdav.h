@@ -1,0 +1,28 @@
+#ifndef TCM_MICROAGG_MDAV_H_
+#define TCM_MICROAGG_MDAV_H_
+
+#include "common/result.h"
+#include "distance/qi_space.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+// MDAV-generic (Maximum Distance to Average Vector; Domingo-Ferrer &
+// Torra 2005): the standard fixed-size microaggregation heuristic.
+// Repeatedly takes the record farthest from the centroid of the remaining
+// records, groups it with its k-1 nearest neighbours, then does the same
+// around the record farthest from that one. Every cluster has exactly k
+// records except possibly the last (k..2k-1).
+//
+// InvalidArgument if k == 0 or k > number of records.
+Result<Partition> Mdav(const QiSpace& space, size_t k);
+
+// MDAV restricted to a subset of rows (used by chunked microaggregation).
+// The returned clusters contain indices from `rows` only and cover each
+// exactly once. InvalidArgument if k == 0 or k > rows.size().
+Result<Partition> MdavOnRows(const QiSpace& space, std::vector<size_t> rows,
+                             size_t k);
+
+}  // namespace tcm
+
+#endif  // TCM_MICROAGG_MDAV_H_

@@ -1,0 +1,221 @@
+#include "microagg/refine.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tcm {
+namespace {
+
+// Incremental cluster state. With per-cluster coordinate sums and the sum
+// of squared norms, a cluster's exact within-SSE is
+//   sumsq - ||sum||^2 / count,
+// so the exact SSE change of any move (relocation or swap) is O(d).
+struct ClusterState {
+  std::vector<double> sum;  // per dimension
+  double sumsq = 0.0;       // sum over members of ||x||^2
+  size_t count = 0;
+
+  double Sse() const {
+    if (count == 0) return 0.0;
+    double norm = 0.0;
+    for (double s : sum) norm += s * s;
+    return sumsq - norm / static_cast<double>(count);
+  }
+};
+
+double SquaredNorm(const double* p, size_t d) {
+  double total = 0.0;
+  for (size_t i = 0; i < d; ++i) total += p[i] * p[i];
+  return total;
+}
+
+// SSE of `cluster` after adding `add` (nullable) and removing `remove`
+// (nullable) — without mutating it.
+double SseAfter(const ClusterState& cluster, const double* add,
+                const double* remove, size_t d) {
+  double count = static_cast<double>(cluster.count) + (add ? 1.0 : 0.0) -
+                 (remove ? 1.0 : 0.0);
+  if (count <= 0.0) return 0.0;
+  double sumsq = cluster.sumsq;
+  double norm = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    double s = cluster.sum[i] + (add ? add[i] : 0.0) -
+               (remove ? remove[i] : 0.0);
+    norm += s * s;
+  }
+  if (add) sumsq += SquaredNorm(add, d);
+  if (remove) sumsq -= SquaredNorm(remove, d);
+  return sumsq - norm / count;
+}
+
+void Apply(ClusterState* cluster, const double* add, const double* remove,
+           size_t d) {
+  for (size_t i = 0; i < d; ++i) {
+    cluster->sum[i] += (add ? add[i] : 0.0) - (remove ? remove[i] : 0.0);
+  }
+  if (add) {
+    cluster->sumsq += SquaredNorm(add, d);
+    ++cluster->count;
+  }
+  if (remove) {
+    cluster->sumsq -= SquaredNorm(remove, d);
+    --cluster->count;
+  }
+}
+
+}  // namespace
+
+double PartitionQiSse(const QiSpace& space, const Partition& partition) {
+  double total = 0.0;
+  for (const Cluster& cluster : partition.clusters) {
+    if (cluster.empty()) continue;
+    std::vector<double> centroid = space.Centroid(cluster);
+    for (size_t row : cluster) {
+      total += space.SquaredDistanceToPoint(row, centroid);
+    }
+  }
+  return total;
+}
+
+Result<Partition> RefinePartition(const QiSpace& space, Partition partition,
+                                  const RefineOptions& options,
+                                  RefineStats* stats) {
+  TCM_RETURN_IF_ERROR(ValidatePartition(partition, space.num_records(),
+                                        options.min_cluster_size));
+  const size_t n = space.num_records();
+  const size_t d = space.num_dims();
+  const size_t k = options.min_cluster_size;
+  const size_t num_clusters = partition.clusters.size();
+
+  std::vector<size_t> assignment = partition.AssignmentVector();
+  std::vector<std::vector<size_t>> members = partition.clusters;
+  std::vector<ClusterState> clusters(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    clusters[c].sum.assign(d, 0.0);
+    clusters[c].count = members[c].size();
+    for (size_t row : members[c]) {
+      const double* p = space.point(row);
+      for (size_t dim = 0; dim < d; ++dim) clusters[c].sum[dim] += p[dim];
+      clusters[c].sumsq += SquaredNorm(p, d);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->sse_before = PartitionQiSse(space, partition);
+    stats->moves = 0;
+    stats->passes = 0;
+  }
+
+  constexpr double kEpsilon = 1e-10;
+  auto remove_member = [&members](size_t cluster, size_t row) {
+    auto& list = members[cluster];
+    auto it = std::find(list.begin(), list.end(), row);
+    TCM_CHECK(it != list.end());
+    *it = list.back();
+    list.pop_back();
+  };
+
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    if (stats != nullptr) ++stats->passes;
+    size_t moves_this_pass = 0;
+    for (size_t row = 0; row < n; ++row) {
+      size_t source = assignment[row];
+      const double* x = space.point(row);
+      double source_sse = clusters[source].Sse();
+
+      // Candidate 1: relocate to the best other cluster (donor must keep
+      // >= k members).
+      double best_delta = -kEpsilon;
+      size_t best_target = source;
+      size_t best_swap_row = n;  // n = relocation, otherwise the partner
+      if (clusters[source].count > k) {
+        double source_without = SseAfter(clusters[source], nullptr, x, d);
+        for (size_t target = 0; target < num_clusters; ++target) {
+          if (target == source || clusters[target].count == 0) continue;
+          double delta = (source_without +
+                          SseAfter(clusters[target], x, nullptr, d)) -
+                         (source_sse + clusters[target].Sse());
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_target = target;
+            best_swap_row = n;
+          }
+        }
+      }
+
+      // Candidate 2: swap with a member of the cluster whose centroid is
+      // nearest to x (sizes unchanged, so exact-k partitions improve too).
+      size_t nearest = source;
+      double nearest_dist = std::numeric_limits<double>::infinity();
+      for (size_t target = 0; target < num_clusters; ++target) {
+        if (target == source || clusters[target].count == 0) continue;
+        double dist = 0.0;
+        double inv = 1.0 / static_cast<double>(clusters[target].count);
+        for (size_t dim = 0; dim < d; ++dim) {
+          double diff = x[dim] - clusters[target].sum[dim] * inv;
+          dist += diff * diff;
+        }
+        if (dist < nearest_dist) {
+          nearest_dist = dist;
+          nearest = target;
+        }
+      }
+      if (nearest != source) {
+        double target_sse = clusters[nearest].Sse();
+        for (size_t partner : members[nearest]) {
+          const double* y = space.point(partner);
+          double delta =
+              (SseAfter(clusters[source], y, x, d) +
+               SseAfter(clusters[nearest], x, y, d)) -
+              (source_sse + target_sse);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_target = nearest;
+            best_swap_row = partner;
+          }
+        }
+      }
+
+      if (best_target == source) continue;
+      if (best_swap_row == n) {
+        // Relocation.
+        Apply(&clusters[source], nullptr, x, d);
+        Apply(&clusters[best_target], x, nullptr, d);
+        remove_member(source, row);
+        members[best_target].push_back(row);
+        assignment[row] = best_target;
+      } else {
+        // Swap.
+        const double* y = space.point(best_swap_row);
+        Apply(&clusters[source], y, x, d);
+        Apply(&clusters[best_target], x, y, d);
+        remove_member(source, row);
+        remove_member(best_target, best_swap_row);
+        members[source].push_back(best_swap_row);
+        members[best_target].push_back(row);
+        assignment[row] = best_target;
+        assignment[best_swap_row] = source;
+      }
+      ++moves_this_pass;
+    }
+    if (stats != nullptr) stats->moves += moves_this_pass;
+    if (moves_this_pass == 0) break;
+  }
+
+  Partition refined;
+  refined.clusters.assign(num_clusters, {});
+  for (size_t row = 0; row < n; ++row) {
+    refined.clusters[assignment[row]].push_back(row);
+  }
+  std::erase_if(refined.clusters,
+                [](const Cluster& cluster) { return cluster.empty(); });
+  if (stats != nullptr) {
+    stats->sse_after = PartitionQiSse(space, refined);
+  }
+  return refined;
+}
+
+}  // namespace tcm

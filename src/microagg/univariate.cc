@@ -1,0 +1,186 @@
+#include "microagg/univariate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "data/stats.h"
+
+namespace tcm {
+namespace {
+
+// Sum and sum-of-squares prefix tables over the sorted values let the DP
+// evaluate the SSE of any consecutive group in O(1):
+//   sse(i..j) = sumsq - sum^2 / count.
+struct PrefixTables {
+  std::vector<double> sum;     // sum[i] = values[0] + ... + values[i-1]
+  std::vector<double> sum_sq;
+
+  explicit PrefixTables(const std::vector<double>& sorted) {
+    sum.assign(sorted.size() + 1, 0.0);
+    sum_sq.assign(sorted.size() + 1, 0.0);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      sum[i + 1] = sum[i] + sorted[i];
+      sum_sq[i + 1] = sum_sq[i] + sorted[i] * sorted[i];
+    }
+  }
+
+  // SSE of the half-open sorted range [begin, end).
+  double GroupSse(size_t begin, size_t end) const {
+    double count = static_cast<double>(end - begin);
+    double total = sum[end] - sum[begin];
+    double total_sq = sum_sq[end] - sum_sq[begin];
+    return total_sq - total * total / count;
+  }
+};
+
+}  // namespace
+
+Result<Partition> OptimalUnivariateMicroaggregation(
+    const std::vector<double>& values, size_t k) {
+  const size_t n = values.size();
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds number of records " +
+                                   std::to_string(n));
+  }
+
+  std::vector<size_t> order = SortOrder(values);
+  std::vector<double> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = values[order[i]];
+  PrefixTables tables(sorted);
+
+  // best[j] = minimal SSE partitioning sorted[0..j); cut[j] = start of the
+  // last group in that optimum. Groups sizes constrained to [k, 2k-1]
+  // (an optimal partition never needs a group of 2k or more: splitting it
+  // cannot increase SSE).
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n + 1, kInfinity);
+  std::vector<size_t> cut(n + 1, 0);
+  best[0] = 0.0;
+  for (size_t j = k; j <= n; ++j) {
+    size_t lo = (j >= 2 * k - 1) ? j - (2 * k - 1) : 0;
+    size_t hi = j - k;  // j >= k
+    for (size_t i = lo; i <= hi; ++i) {
+      if (best[i] == kInfinity) continue;
+      double candidate = best[i] + tables.GroupSse(i, j);
+      if (candidate < best[j]) {
+        best[j] = candidate;
+        cut[j] = i;
+      }
+    }
+  }
+  TCM_CHECK(best[n] != kInfinity) << "univariate DP infeasible";
+
+  Partition partition;
+  size_t end = n;
+  while (end > 0) {
+    size_t begin = cut[end];
+    Cluster cluster;
+    cluster.reserve(end - begin);
+    for (size_t pos = begin; pos < end; ++pos) {
+      cluster.push_back(order[pos]);
+    }
+    partition.clusters.push_back(std::move(cluster));
+    end = begin;
+  }
+  std::reverse(partition.clusters.begin(), partition.clusters.end());
+  return partition;
+}
+
+double UnivariateSse(const std::vector<double>& values,
+                     const Partition& partition) {
+  double total = 0.0;
+  for (const Cluster& cluster : partition.clusters) {
+    if (cluster.empty()) continue;
+    double mean = 0.0;
+    for (size_t row : cluster) mean += values[row];
+    mean /= static_cast<double>(cluster.size());
+    for (size_t row : cluster) {
+      total += (values[row] - mean) * (values[row] - mean);
+    }
+  }
+  return total;
+}
+
+std::vector<double> PrincipalComponentScores(const QiSpace& space) {
+  const size_t n = space.num_records();
+  const size_t d = space.num_dims();
+
+  // Column means for centering.
+  std::vector<double> mean(d, 0.0);
+  for (size_t row = 0; row < n; ++row) {
+    const double* p = space.point(row);
+    for (size_t j = 0; j < d; ++j) mean[j] += p[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  // Covariance matrix (d is tiny — the number of QIs).
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (size_t row = 0; row < n; ++row) {
+    const double* p = space.point(row);
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a; b < d; ++b) {
+        cov[a][b] += (p[a] - mean[a]) * (p[b] - mean[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov[a][b] /= static_cast<double>(n);
+      cov[b][a] = cov[a][b];
+    }
+  }
+
+  // Power iteration for the dominant eigenvector. Deterministic start
+  // (all-ones) suffices: covariance matrices are PSD and the iteration
+  // only fails if the start is exactly orthogonal to the eigenvector,
+  // which the tie-break perturbation below avoids.
+  std::vector<double> direction(d, 1.0);
+  direction[0] = 1.0 + 1e-3;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::vector<double> next(d, 0.0);
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) next[a] += cov[a][b] * direction[b];
+    }
+    double norm = 0.0;
+    for (double v : next) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) break;  // zero-variance data: any direction works
+    for (double& v : next) v /= norm;
+    double delta = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      delta = std::max(delta, std::fabs(next[j] - direction[j]));
+    }
+    direction = std::move(next);
+    if (delta < 1e-12) break;
+  }
+  // Fix the sign for determinism.
+  for (size_t j = 0; j < d; ++j) {
+    if (std::fabs(direction[j]) > 1e-12) {
+      if (direction[j] < 0) {
+        for (double& v : direction) v = -v;
+      }
+      break;
+    }
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (size_t row = 0; row < n; ++row) {
+    const double* p = space.point(row);
+    for (size_t j = 0; j < d; ++j) {
+      scores[row] += (p[j] - mean[j]) * direction[j];
+    }
+  }
+  return scores;
+}
+
+Result<Partition> ProjectionMicroaggregation(const QiSpace& space, size_t k) {
+  return OptimalUnivariateMicroaggregation(PrincipalComponentScores(space),
+                                           k);
+}
+
+}  // namespace tcm

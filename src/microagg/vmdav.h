@@ -1,0 +1,36 @@
+#ifndef TCM_MICROAGG_VMDAV_H_
+#define TCM_MICROAGG_VMDAV_H_
+
+#include "common/result.h"
+#include "distance/qi_space.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+struct VMdavOptions {
+  // Gain threshold for extending a cluster beyond k records: an unassigned
+  // record u joins the cluster when its distance to the cluster is less
+  // than gamma times its distance to the nearest other unassigned record.
+  // gamma = 0 degenerates to fixed-size clusters; the original paper
+  // suggests values around 0.2 for scattered data.
+  double gamma = 0.2;
+};
+
+// V-MDAV (Solanas & Martinez-Balleste 2006): variable-size variant of
+// MDAV. Builds a cluster of the k nearest records around the unassigned
+// record farthest from the global centroid, then greedily extends it up to
+// 2k-1 records while the gain criterion holds. Remaining (< k) records
+// join the cluster with the nearest centroid.
+//
+// InvalidArgument if k == 0, k > n, or gamma < 0.
+Result<Partition> VMdav(const QiSpace& space, size_t k,
+                        const VMdavOptions& options = {});
+
+// V-MDAV restricted to a subset of rows; the extreme-point reference is
+// the subset centroid. InvalidArgument if k == 0 or k > rows.size().
+Result<Partition> VMdavOnRows(const QiSpace& space, std::vector<size_t> rows,
+                              size_t k, const VMdavOptions& options = {});
+
+}  // namespace tcm
+
+#endif  // TCM_MICROAGG_VMDAV_H_

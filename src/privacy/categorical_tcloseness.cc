@@ -1,0 +1,92 @@
+#include "privacy/categorical_tcloseness.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "distance/categorical.h"
+#include "privacy/equivalence.h"
+
+namespace tcm {
+namespace {
+
+Result<CategoricalTClosenessReport> Evaluate(
+    const Dataset& data, size_t confidential_offset,
+    AttributeType required_type,
+    double (*distance)(const std::vector<size_t>&,
+                       const std::vector<size_t>&)) {
+  const auto confidential = data.schema().ConfidentialIndices();
+  if (confidential.size() <= confidential_offset) {
+    return Status::InvalidArgument("confidential attribute not available");
+  }
+  size_t col = confidential[confidential_offset];
+  const Attribute& attr = data.schema().at(col);
+  if (attr.type != required_type) {
+    return Status::InvalidArgument(
+        std::string("confidential attribute is ") +
+        AttributeTypeName(attr.type) + ", expected " +
+        AttributeTypeName(required_type));
+  }
+  // Category universe: the declared schema categories, or the observed
+  // code range when the schema does not enumerate them.
+  size_t universe = attr.categories.size();
+  for (size_t row = 0; row < data.NumRecords(); ++row) {
+    universe = std::max(
+        universe, static_cast<size_t>(data.cell(row, col).category()) + 1);
+  }
+  if (universe == 0) {
+    return Status::InvalidArgument("no categories declared or observed");
+  }
+
+  std::vector<size_t> global(universe, 0);
+  for (size_t row = 0; row < data.NumRecords(); ++row) {
+    ++global[static_cast<size_t>(data.cell(row, col).category())];
+  }
+
+  TCM_ASSIGN_OR_RETURN(auto classes, EquivalenceClasses(data));
+  CategoricalTClosenessReport report;
+  report.num_equivalence_classes = classes.size();
+  double total = 0.0;
+  for (const auto& group : classes) {
+    std::vector<size_t> counts(universe, 0);
+    for (size_t row : group) {
+      ++counts[static_cast<size_t>(data.cell(row, col).category())];
+    }
+    double value = distance(counts, global);
+    report.max_distance = std::max(report.max_distance, value);
+    total += value;
+  }
+  if (!classes.empty()) {
+    report.mean_distance = total / static_cast<double>(classes.size());
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<CategoricalTClosenessReport> EvaluateOrdinalTCloseness(
+    const Dataset& data, size_t confidential_offset) {
+  return Evaluate(data, confidential_offset, AttributeType::kOrdinal,
+                  &OrdinalCategoricalEmd);
+}
+
+Result<CategoricalTClosenessReport> EvaluateNominalTCloseness(
+    const Dataset& data, size_t confidential_offset) {
+  return Evaluate(data, confidential_offset, AttributeType::kNominal,
+                  &NominalCategoricalEmd);
+}
+
+Result<bool> IsOrdinalTClose(const Dataset& data, double t,
+                             size_t confidential_offset) {
+  TCM_ASSIGN_OR_RETURN(CategoricalTClosenessReport report,
+                       EvaluateOrdinalTCloseness(data, confidential_offset));
+  return report.max_distance <= t + 1e-9;
+}
+
+Result<bool> IsNominalTClose(const Dataset& data, double t,
+                             size_t confidential_offset) {
+  TCM_ASSIGN_OR_RETURN(CategoricalTClosenessReport report,
+                       EvaluateNominalTCloseness(data, confidential_offset));
+  return report.max_distance <= t + 1e-9;
+}
+
+}  // namespace tcm

@@ -1,0 +1,39 @@
+#ifndef TCM_PRIVACY_CATEGORICAL_TCLOSENESS_H_
+#define TCM_PRIVACY_CATEGORICAL_TCLOSENESS_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+// t-Closeness verification for categorical confidential attributes — the
+// checking side of the paper's research-direction item (i). The distance
+// depends on the attribute type:
+//  * ordinal categories: ordered EMD over the category bins (the paper's
+//    EMD with rank ground distance, discretized to categories);
+//  * nominal categories: total variation distance (EMD with unit ground
+//    distance between distinct categories).
+struct CategoricalTClosenessReport {
+  size_t num_equivalence_classes = 0;
+  double max_distance = 0.0;
+  double mean_distance = 0.0;
+};
+
+// The confidential attribute selected by `confidential_offset` must be
+// ordinal; InvalidArgument otherwise.
+Result<CategoricalTClosenessReport> EvaluateOrdinalTCloseness(
+    const Dataset& data, size_t confidential_offset = 0);
+
+// The confidential attribute must be nominal; InvalidArgument otherwise.
+Result<CategoricalTClosenessReport> EvaluateNominalTCloseness(
+    const Dataset& data, size_t confidential_offset = 0);
+
+// Threshold forms.
+Result<bool> IsOrdinalTClose(const Dataset& data, double t,
+                             size_t confidential_offset = 0);
+Result<bool> IsNominalTClose(const Dataset& data, double t,
+                             size_t confidential_offset = 0);
+
+}  // namespace tcm
+
+#endif  // TCM_PRIVACY_CATEGORICAL_TCLOSENESS_H_

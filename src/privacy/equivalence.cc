@@ -1,0 +1,30 @@
+#include "privacy/equivalence.h"
+
+#include <map>
+
+namespace tcm {
+
+Result<std::vector<std::vector<size_t>>> EquivalenceClasses(
+    const Dataset& data) {
+  std::vector<size_t> qi = data.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  // Exact-match grouping on the QI tuple. doubles are compared bitwise-
+  // equal, which is correct here: aggregation writes identical centroid
+  // values into every member of a cluster.
+  std::map<std::vector<double>, std::vector<size_t>> groups;
+  std::vector<double> key(qi.size());
+  for (size_t row = 0; row < data.NumRecords(); ++row) {
+    for (size_t j = 0; j < qi.size(); ++j) {
+      key[j] = data.cell(row, qi[j]).AsDouble();
+    }
+    groups[key].push_back(row);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [unused, rows] : groups) out.push_back(std::move(rows));
+  return out;
+}
+
+}  // namespace tcm

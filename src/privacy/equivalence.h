@@ -1,0 +1,22 @@
+#ifndef TCM_PRIVACY_EQUIVALENCE_H_
+#define TCM_PRIVACY_EQUIVALENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+// Groups records by exact equality of their quasi-identifier values.
+// Each returned group is a list of record indices; together they cover
+// every record exactly once. The equivalence classes of a released
+// dataset are the unit all syntactic privacy checks operate on.
+//
+// InvalidArgument if the dataset has no quasi-identifiers.
+Result<std::vector<std::vector<size_t>>> EquivalenceClasses(
+    const Dataset& data);
+
+}  // namespace tcm
+
+#endif  // TCM_PRIVACY_EQUIVALENCE_H_

@@ -1,0 +1,58 @@
+#include "privacy/interval_disclosure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/stats.h"
+
+namespace tcm {
+
+Result<IntervalDisclosureReport> EvaluateIntervalDisclosure(
+    const Dataset& original, const Dataset& anonymized,
+    double window_fraction) {
+  if (original.NumRecords() != anonymized.NumRecords() ||
+      original.NumAttributes() != anonymized.NumAttributes()) {
+    return Status::InvalidArgument("dataset shapes differ");
+  }
+  if (original.NumRecords() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (window_fraction <= 0.0 || window_fraction > 1.0) {
+    return Status::InvalidArgument("window_fraction must be in (0, 1]");
+  }
+  std::vector<size_t> qi = original.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+
+  const size_t n = original.NumRecords();
+  const double window = window_fraction * static_cast<double>(n);
+  IntervalDisclosureReport report;
+  for (size_t col : qi) {
+    std::vector<double> orig_col = original.ColumnAsDouble(col);
+    std::vector<double> anon_col = anonymized.ColumnAsDouble(col);
+    // Sorted original column: ranks of arbitrary values are found by
+    // binary search, so a masked value maps to a rank position even if it
+    // does not occur in the original data.
+    std::vector<double> sorted = orig_col;
+    std::sort(sorted.begin(), sorted.end());
+    auto rank_of = [&sorted](double value) {
+      return static_cast<double>(
+          std::lower_bound(sorted.begin(), sorted.end(), value) -
+          sorted.begin());
+    };
+    for (size_t row = 0; row < n; ++row) {
+      double masked_rank = rank_of(anon_col[row]);
+      double original_rank = rank_of(orig_col[row]);
+      if (std::fabs(masked_rank - original_rank) <= window) {
+        report.disclosure_rate += 1.0;
+      }
+      ++report.cells;
+    }
+  }
+  report.disclosure_rate /= static_cast<double>(report.cells);
+  return report;
+}
+
+}  // namespace tcm

@@ -1,0 +1,31 @@
+#ifndef TCM_PRIVACY_INTERVAL_DISCLOSURE_H_
+#define TCM_PRIVACY_INTERVAL_DISCLOSURE_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+// Rank-based interval disclosure (Domingo-Ferrer & Torra 2001), the
+// standard SDC attribute-disclosure score for perturbative masking: a
+// cell is disclosive when the original value falls inside a narrow rank
+// window around the released value — the intruder who sees the masked
+// value can infer the original to within that window.
+struct IntervalDisclosureReport {
+  // Share of (record, QI attribute) cells whose original value lies
+  // within the +/- window_fraction rank interval around the masked value.
+  double disclosure_rate = 0.0;
+  size_t cells = 0;
+};
+
+// `window_fraction` is the half-width of the rank window as a fraction of
+// n (the classic choice is 0.01 = 1% of ranks to each side).
+// InvalidArgument if shapes differ, there are no QIs, or window_fraction
+// is not in (0, 1].
+Result<IntervalDisclosureReport> EvaluateIntervalDisclosure(
+    const Dataset& original, const Dataset& anonymized,
+    double window_fraction = 0.01);
+
+}  // namespace tcm
+
+#endif  // TCM_PRIVACY_INTERVAL_DISCLOSURE_H_

@@ -1,0 +1,74 @@
+#include "privacy/linkage.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "data/stats.h"
+
+namespace tcm {
+
+Result<LinkageRiskReport> EvaluateLinkageRisk(const Dataset& original,
+                                              const Dataset& anonymized) {
+  if (original.NumRecords() != anonymized.NumRecords() ||
+      original.NumAttributes() != anonymized.NumAttributes()) {
+    return Status::InvalidArgument("dataset shapes differ");
+  }
+  std::vector<size_t> qi = original.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  const size_t n = original.NumRecords();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  const size_t d = qi.size();
+
+  // Both sides scaled by the ORIGINAL attribute ranges: the intruder's
+  // metric is defined on the true domain.
+  std::vector<double> orig_flat(n * d), anon_flat(n * d);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> orig_col = original.ColumnAsDouble(qi[j]);
+    std::vector<double> anon_col = anonymized.ColumnAsDouble(qi[j]);
+    double lo = Min(orig_col);
+    double range = Range(orig_col);
+    double inv = (range > 0.0) ? 1.0 / range : 0.0;
+    for (size_t row = 0; row < n; ++row) {
+      orig_flat[row * d + j] = (orig_col[row] - lo) * inv;
+      anon_flat[row * d + j] = (anon_col[row] - lo) * inv;
+    }
+  }
+
+  constexpr double kTieEpsilon = 1e-12;
+  double expected = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* target = &orig_flat[i * d];
+    double best = std::numeric_limits<double>::infinity();
+    size_t tie_count = 0;
+    bool self_in_tie = false;
+    for (size_t j = 0; j < n; ++j) {
+      const double* candidate = &anon_flat[j * d];
+      double dist = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        double diff = target[c] - candidate[c];
+        dist += diff * diff;
+      }
+      if (dist < best - kTieEpsilon) {
+        best = dist;
+        tie_count = 1;
+        self_in_tie = (j == i);
+      } else if (dist <= best + kTieEpsilon) {
+        ++tie_count;
+        self_in_tie = self_in_tie || (j == i);
+      }
+    }
+    if (self_in_tie && tie_count > 0) {
+      expected += 1.0 / static_cast<double>(tie_count);
+    }
+  }
+
+  LinkageRiskReport report;
+  report.records = n;
+  report.expected_reidentification_rate = expected / static_cast<double>(n);
+  return report;
+}
+
+}  // namespace tcm

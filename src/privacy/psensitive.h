@@ -1,0 +1,24 @@
+#ifndef TCM_PRIVACY_PSENSITIVE_H_
+#define TCM_PRIVACY_PSENSITIVE_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+// p-Sensitive k-anonymity (Truta & Vinay 2006): a release satisfies the
+// model when it is k-anonymous AND every equivalence class contains at
+// least p distinct values of the confidential attribute. Referenced by
+// the paper as the one k-anonymity refinement microaggregation had been
+// applied to before this work.
+Result<bool> IsPSensitiveKAnonymous(const Dataset& data, size_t p, size_t k,
+                                    size_t confidential_offset = 0);
+
+// The largest p for which the release is p-sensitive (0 when some class
+// is empty of confidential values — cannot happen for valid data).
+Result<size_t> MaxSensitiveP(const Dataset& data,
+                             size_t confidential_offset = 0);
+
+}  // namespace tcm
+
+#endif  // TCM_PRIVACY_PSENSITIVE_H_

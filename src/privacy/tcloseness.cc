@@ -1,0 +1,42 @@
+#include "privacy/tcloseness.h"
+
+#include <algorithm>
+
+#include "distance/emd.h"
+#include "privacy/equivalence.h"
+
+namespace tcm {
+
+Result<TClosenessReport> EvaluateTCloseness(const Dataset& data,
+                                            size_t confidential_offset) {
+  if (data.schema().ConfidentialIndices().size() <= confidential_offset) {
+    return Status::InvalidArgument("confidential attribute not available");
+  }
+  if (data.NumRecords() < 2) {
+    return Status::InvalidArgument("need at least 2 records");
+  }
+  TCM_ASSIGN_OR_RETURN(auto classes, EquivalenceClasses(data));
+  EmdCalculator emd(data, confidential_offset);
+  TClosenessReport report;
+  report.num_equivalence_classes = classes.size();
+  double total = 0.0;
+  for (const auto& group : classes) {
+    double value = emd.ClusterEmd(group);
+    report.max_emd = std::max(report.max_emd, value);
+    total += value;
+  }
+  if (!classes.empty()) {
+    report.mean_emd = total / static_cast<double>(classes.size());
+  }
+  return report;
+}
+
+Result<bool> IsTClose(const Dataset& data, double t,
+                      size_t confidential_offset) {
+  TCM_ASSIGN_OR_RETURN(TClosenessReport report,
+                       EvaluateTCloseness(data, confidential_offset));
+  // Tolerate float round-off in the closed-form EMD.
+  return report.max_emd <= t + 1e-9;
+}
+
+}  // namespace tcm

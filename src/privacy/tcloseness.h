@@ -1,0 +1,29 @@
+#ifndef TCM_PRIVACY_TCLOSENESS_H_
+#define TCM_PRIVACY_TCLOSENESS_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+struct TClosenessReport {
+  size_t num_equivalence_classes = 0;
+  double max_emd = 0.0;   // the t actually achieved (Definition 2)
+  double mean_emd = 0.0;
+};
+
+// Measures t-closeness of a release: the EMD (ordered ground distance)
+// between each equivalence class's confidential distribution and the
+// whole data set's, maximized over classes. `confidential_offset` selects
+// among several confidential attributes.
+Result<TClosenessReport> EvaluateTCloseness(const Dataset& data,
+                                            size_t confidential_offset = 0);
+
+// True iff every equivalence class is within EMD `t` of the global
+// confidential distribution (with a small epsilon for float round-off).
+Result<bool> IsTClose(const Dataset& data, double t,
+                      size_t confidential_offset = 0);
+
+}  // namespace tcm
+
+#endif  // TCM_PRIVACY_TCLOSENESS_H_

@@ -1,0 +1,97 @@
+#include "tclose/anatomy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace tcm {
+
+Result<AnatomyRelease> MakeAnatomyRelease(const Dataset& data,
+                                          const Partition& partition) {
+  TCM_RETURN_IF_ERROR(ValidatePartition(partition, data.NumRecords(), 1));
+  std::vector<size_t> qi = data.schema().QuasiIdentifierIndices();
+  std::vector<size_t> confidential = data.schema().ConfidentialIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  if (confidential.empty()) {
+    return Status::InvalidArgument("dataset has no confidential attribute");
+  }
+
+  std::vector<size_t> assignment = partition.AssignmentVector();
+
+  // QI table: QIs and kOther attributes (identifiers and confidential
+  // values are withheld) plus the group id.
+  std::vector<size_t> qi_columns = qi;
+  for (size_t col : data.schema().IndicesWithRole(AttributeRole::kOther)) {
+    qi_columns.push_back(col);
+  }
+  std::sort(qi_columns.begin(), qi_columns.end());
+  std::vector<Attribute> qi_attrs;
+  for (size_t col : qi_columns) qi_attrs.push_back(data.schema().at(col));
+  qi_attrs.push_back(
+      Attribute{"GROUP_ID", AttributeType::kNumeric, AttributeRole::kOther,
+                {}});
+  Dataset qi_table{Schema(std::move(qi_attrs))};
+  for (size_t row = 0; row < data.NumRecords(); ++row) {
+    Record record;
+    record.reserve(qi_columns.size() + 1);
+    for (size_t col : qi_columns) record.push_back(data.cell(row, col));
+    record.push_back(
+        Value::Numeric(static_cast<double>(assignment[row])));
+    TCM_RETURN_IF_ERROR(qi_table.Append(std::move(record)));
+  }
+
+  // Sensitive table: group id + confidential attributes, one row per
+  // record, ordered by group so within-group order carries no signal.
+  std::vector<Attribute> sensitive_attrs;
+  sensitive_attrs.push_back(
+      Attribute{"GROUP_ID", AttributeType::kNumeric, AttributeRole::kOther,
+                {}});
+  for (size_t col : confidential) {
+    sensitive_attrs.push_back(data.schema().at(col));
+  }
+  Dataset sensitive_table{Schema(std::move(sensitive_attrs))};
+  for (size_t group = 0; group < partition.clusters.size(); ++group) {
+    // Within a group, emit rows in confidential-value order (not record
+    // order) so row position does not leak the record identity.
+    Cluster sorted_rows = partition.clusters[group];
+    std::sort(sorted_rows.begin(), sorted_rows.end(),
+              [&](size_t a, size_t b) {
+                return data.cell(a, confidential[0]).AsDouble() <
+                       data.cell(b, confidential[0]).AsDouble();
+              });
+    for (size_t row : sorted_rows) {
+      Record record;
+      record.reserve(confidential.size() + 1);
+      record.push_back(Value::Numeric(static_cast<double>(group)));
+      for (size_t col : confidential) record.push_back(data.cell(row, col));
+      TCM_RETURN_IF_ERROR(sensitive_table.Append(std::move(record)));
+    }
+  }
+  return AnatomyRelease{std::move(qi_table), std::move(sensitive_table)};
+}
+
+Result<double> AnatomyAttributeDisclosure(const Dataset& data,
+                                          const Partition& partition,
+                                          size_t confidential_offset) {
+  TCM_RETURN_IF_ERROR(ValidatePartition(partition, data.NumRecords(), 1));
+  std::vector<size_t> confidential = data.schema().ConfidentialIndices();
+  if (confidential.size() <= confidential_offset) {
+    return Status::InvalidArgument("confidential attribute not available");
+  }
+  size_t col = confidential[confidential_offset];
+  double worst = 0.0;
+  for (const Cluster& cluster : partition.clusters) {
+    std::map<double, size_t> counts;
+    for (size_t row : cluster) ++counts[data.cell(row, col).AsDouble()];
+    for (const auto& [unused, count] : counts) {
+      worst = std::max(worst, static_cast<double>(count) /
+                                  static_cast<double>(cluster.size()));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tcm

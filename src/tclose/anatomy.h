@@ -1,0 +1,45 @@
+#ifndef TCM_TCLOSE_ANATOMY_H_
+#define TCM_TCLOSE_ANATOMY_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+// Anatomy-style release (Xiao & Tao, VLDB 2006; paper Sec. 2.3): instead
+// of replacing quasi-identifiers by centroids, publish two tables that
+// share a group id —
+//   * the QI table: the ORIGINAL quasi-identifier values plus GROUP_ID,
+//   * the sensitive table: GROUP_ID plus the confidential values.
+// The link between a subject's QIs and their confidential value is broken
+// at the group level (an intruder narrows a subject to a group, then
+// faces the group's confidential distribution), while the QI values keep
+// full fidelity: SSE over the quasi-identifiers is exactly zero. Combined
+// with a t-close partition, the group-level confidential distribution is
+// additionally within t of the global one, i.e. the release carries the
+// same t-closeness guarantee as the aggregated form.
+struct AnatomyRelease {
+  Dataset qi_table;         // original QIs + GROUP_ID (+ kOther attributes)
+  Dataset sensitive_table;  // GROUP_ID + confidential attributes
+};
+
+// Builds the two tables from any partition of `data` (typically the
+// output of one of the three t-closeness algorithms).
+// FailedPrecondition if the partition does not exactly cover the data;
+// InvalidArgument if roles are missing.
+Result<AnatomyRelease> MakeAnatomyRelease(const Dataset& data,
+                                          const Partition& partition);
+
+// The adversary's posterior over a subject's confidential value under an
+// anatomy release is the subject's group distribution; this helper
+// returns the maximum group-level probability of pinning the exact
+// confidential value (1/|group| * multiplicity), the natural disclosure
+// score for the release.
+Result<double> AnatomyAttributeDisclosure(const Dataset& data,
+                                          const Partition& partition,
+                                          size_t confidential_offset = 0);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_ANATOMY_H_

@@ -1,0 +1,122 @@
+#include "tclose/anonymizer.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "distance/emd.h"
+#include "microagg/aggregate.h"
+#include "tclose/merge.h"
+#include "tclose/tclose_first.h"
+#include "utility/sse.h"
+
+namespace tcm {
+
+const char* TCloseAlgorithmName(TCloseAlgorithm algorithm) {
+  switch (algorithm) {
+    case TCloseAlgorithm::kMicroaggregationMerge:
+      return "microaggregation+merge";
+    case TCloseAlgorithm::kKAnonymityFirst:
+      return "k-anonymity-first";
+    case TCloseAlgorithm::kTClosenessFirst:
+      return "t-closeness-first";
+  }
+  return "unknown";
+}
+
+Result<AnonymizationResult> Anonymize(const Dataset& data,
+                                      const AnonymizerOptions& options) {
+  if (data.NumRecords() < 2) {
+    return Status::InvalidArgument("need at least 2 records");
+  }
+  if (data.schema().QuasiIdentifierIndices().empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  const auto confidential = data.schema().ConfidentialIndices();
+  if (confidential.empty()) {
+    return Status::InvalidArgument("dataset has no confidential attribute");
+  }
+  if (options.confidential_offset >= confidential.size()) {
+    return Status::OutOfRange("confidential_offset out of range");
+  }
+  if (options.k == 0 || options.k > data.NumRecords()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (options.t < 0.0) {
+    return Status::InvalidArgument("t must be non-negative");
+  }
+
+  WallTimer timer;
+  QiSpace space(data, options.normalization);
+  EmdCalculator emd(data, options.confidential_offset);
+
+  Partition partition;
+  MergeStats merge_stats;
+  KAnonFirstStats kanon_stats;
+  TCloseFirstStats tfirst_stats;
+  switch (options.algorithm) {
+    case TCloseAlgorithm::kMicroaggregationMerge: {
+      TCM_ASSIGN_OR_RETURN(
+          partition, MergeTCloseness(space, emd, options.k, options.t,
+                                     options.microagg, &merge_stats));
+      break;
+    }
+    case TCloseAlgorithm::kKAnonymityFirst: {
+      TCM_ASSIGN_OR_RETURN(
+          partition,
+          KAnonFirstTCloseness(space, emd, options.k, options.t,
+                               options.kanon_first, &kanon_stats));
+      break;
+    }
+    case TCloseAlgorithm::kTClosenessFirst: {
+      TCM_ASSIGN_OR_RETURN(partition,
+                           TCloseFirstTCloseness(space, emd, options.k,
+                                                 options.t, &tfirst_stats));
+      break;
+    }
+  }
+
+  // Optional second pass: make every confidential attribute t-close, not
+  // just the steering one.
+  std::vector<EmdCalculator> all_emds;
+  if (options.enforce_all_confidential && confidential.size() > 1) {
+    all_emds.reserve(confidential.size());
+    std::vector<const EmdCalculator*> pointers;
+    for (size_t offset = 0; offset < confidential.size(); ++offset) {
+      all_emds.emplace_back(data, offset);
+    }
+    for (const EmdCalculator& calculator : all_emds) {
+      pointers.push_back(&calculator);
+    }
+    MergeStats multi_stats;
+    TCM_ASSIGN_OR_RETURN(
+        partition, MergeUntilTCloseMulti(space, pointers, options.t,
+                                         std::move(partition), &multi_stats));
+    merge_stats.merges += multi_stats.merges;
+  }
+
+  TCM_ASSIGN_OR_RETURN(Dataset anonymized,
+                       AggregatePartition(data, partition));
+
+  AnonymizationResult result{std::move(anonymized), Partition{}};
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.min_cluster_size = partition.MinClusterSize();
+  result.max_cluster_size = partition.MaxClusterSize();
+  result.average_cluster_size = partition.AverageClusterSize();
+  for (const Cluster& cluster : partition.clusters) {
+    result.max_cluster_emd =
+        std::max(result.max_cluster_emd, emd.ClusterEmd(cluster));
+    for (const EmdCalculator& calculator : all_emds) {
+      result.max_cluster_emd =
+          std::max(result.max_cluster_emd, calculator.ClusterEmd(cluster));
+    }
+  }
+  TCM_ASSIGN_OR_RETURN(result.normalized_sse,
+                       NormalizedSse(data, result.anonymized));
+  result.merges = merge_stats.merges + kanon_stats.merges;
+  result.swaps = kanon_stats.swaps;
+  result.effective_k = tfirst_stats.effective_k;
+  result.partition = std::move(partition);
+  return result;
+}
+
+}  // namespace tcm

@@ -1,0 +1,72 @@
+#ifndef TCM_TCLOSE_ANONYMIZER_H_
+#define TCM_TCLOSE_ANONYMIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "distance/qi_space.h"
+#include "microagg/microagg.h"
+#include "microagg/partition.h"
+#include "tclose/kanon_first.h"
+
+namespace tcm {
+
+// Which of the paper's three algorithms to run.
+enum class TCloseAlgorithm {
+  kMicroaggregationMerge,  // Algorithm 1: microaggregate, then merge
+  kKAnonymityFirst,        // Algorithm 2 (+ merge fallback for guarantee)
+  kTClosenessFirst,        // Algorithm 3: analytic subsets, by construction
+};
+
+const char* TCloseAlgorithmName(TCloseAlgorithm algorithm);
+
+struct AnonymizerOptions {
+  size_t k = 2;       // minimum cluster size (k-anonymity level)
+  double t = 0.25;    // t-closeness level (max per-cluster EMD)
+  TCloseAlgorithm algorithm = TCloseAlgorithm::kTClosenessFirst;
+  // Algorithm 1 only: which microaggregation builds the initial clusters.
+  MicroaggOptions microagg;
+  // Algorithm 2 only: swap-refinement policy.
+  KAnonFirstOptions kanon_first;
+  // QI scaling used for all record distances.
+  QiNormalization normalization = QiNormalization::kRange;
+  // Which confidential attribute drives t-closeness when several exist.
+  size_t confidential_offset = 0;
+  // When true and the schema declares several confidential attributes,
+  // a multi-attribute merge pass runs after the selected algorithm so
+  // that EVERY confidential attribute satisfies t-closeness (the primary
+  // algorithm only steers by `confidential_offset`).
+  bool enforce_all_confidential = false;
+};
+
+// Everything a caller needs to audit a run: the release itself, the
+// partition behind it, and privacy/utility/readiness measurements.
+struct AnonymizationResult {
+  Dataset anonymized;
+  Partition partition;
+
+  size_t min_cluster_size = 0;      // k-anonymity level achieved
+  size_t max_cluster_size = 0;
+  double average_cluster_size = 0.0;
+  double max_cluster_emd = 0.0;     // t-closeness level achieved
+  double normalized_sse = 0.0;      // paper Eq. 5
+  double elapsed_seconds = 0.0;
+
+  // Algorithm-specific diagnostics (0 when not applicable).
+  size_t merges = 0;        // Algorithms 1 and 2 (fallback)
+  size_t swaps = 0;         // Algorithm 2
+  size_t effective_k = 0;   // Algorithm 3's k* after Eqs. (3)-(4)
+};
+
+// One-call API over the three algorithms: partitions `data`, aggregates
+// the quasi-identifiers, and measures the result.
+//
+// Requirements: at least one quasi-identifier and one confidential
+// attribute, n >= 2, k in [1, n], t >= 0.
+Result<AnonymizationResult> Anonymize(const Dataset& data,
+                                      const AnonymizerOptions& options);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_ANONYMIZER_H_

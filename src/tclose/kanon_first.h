@@ -1,0 +1,50 @@
+#ifndef TCM_TCLOSE_KANON_FIRST_H_
+#define TCM_TCLOSE_KANON_FIRST_H_
+
+#include "common/result.h"
+#include "distance/emd.h"
+#include "distance/qi_space.h"
+#include "microagg/partition.h"
+#include "tclose/merge.h"
+
+namespace tcm {
+
+struct KAnonFirstOptions {
+  // When false, the swap refinement inside GenerateCluster is skipped and
+  // the algorithm degenerates to plain MDAV-style clustering (used by the
+  // swap-policy ablation bench).
+  bool enable_swaps = true;
+};
+
+struct KAnonFirstStats {
+  size_t swaps = 0;            // record swaps performed across all clusters
+  size_t swap_candidates = 0;  // candidate records examined
+  size_t merges = 0;           // mergers in the Algorithm 1 fallback
+  double final_max_emd = 0.0;
+};
+
+// Algorithm 2 (paper Sec. 6) as published: MDAV-style cluster generation
+// where each cluster of k records is refined — swapping members for nearby
+// unclustered records — until its EMD drops to t or candidates run out.
+// The result is k-anonymous but NOT guaranteed t-close (the paper notes
+// the guarantee fails when the pool empties, typically for the last
+// clusters).
+Result<Partition> KAnonFirstPartition(const QiSpace& space,
+                                      const EmdCalculator& emd, size_t k,
+                                      double t,
+                                      const KAnonFirstOptions& options = {},
+                                      KAnonFirstStats* stats = nullptr);
+
+// Algorithm 2 with the guarantee: uses KAnonFirstPartition as the
+// microaggregation step of Algorithm 1 (paper Sec. 6: "use Algorithm 2 as
+// the microaggregation function in Algorithm 1"), merging clusters until
+// t-closeness holds everywhere.
+Result<Partition> KAnonFirstTCloseness(const QiSpace& space,
+                                       const EmdCalculator& emd, size_t k,
+                                       double t,
+                                       const KAnonFirstOptions& options = {},
+                                       KAnonFirstStats* stats = nullptr);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_KANON_FIRST_H_

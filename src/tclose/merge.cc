@@ -1,0 +1,137 @@
+#include "tclose/merge.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tcm {
+namespace {
+
+// Live cluster bookkeeping for the merge loop: QI centroid and EMD are
+// kept incrementally so each merge costs O(#clusters + |merged| log).
+struct LiveCluster {
+  Cluster rows;
+  std::vector<double> centroid;  // QI centroid (mean of member points)
+  double emd = 0.0;
+  bool alive = true;
+};
+
+std::vector<double> WeightedCentroid(const std::vector<double>& a, size_t na,
+                                     const std::vector<double>& b, size_t nb) {
+  std::vector<double> out(a.size());
+  double wa = static_cast<double>(na), wb = static_cast<double>(nb);
+  for (size_t d = 0; d < a.size(); ++d) {
+    out[d] = (a[d] * wa + b[d] * wb) / (wa + wb);
+  }
+  return out;
+}
+
+double CentroidSquaredDistance(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<Partition> MergeUntilTClose(const QiSpace& space,
+                                   const EmdCalculator& emd, double t,
+                                   Partition initial, MergeStats* stats) {
+  return MergeUntilTCloseMulti(space, {&emd}, t, std::move(initial), stats);
+}
+
+Result<Partition> MergeUntilTCloseMulti(
+    const QiSpace& space, const std::vector<const EmdCalculator*>& emds,
+    double t, Partition initial, MergeStats* stats) {
+  TCM_RETURN_IF_ERROR(
+      ValidatePartition(initial, space.num_records(), /*min_cluster_size=*/1));
+  if (t < 0.0) return Status::InvalidArgument("t must be non-negative");
+  if (emds.empty()) {
+    return Status::InvalidArgument("need at least one EMD calculator");
+  }
+  auto worst_emd_of = [&emds](const Cluster& cluster) {
+    double worst = 0.0;
+    for (const EmdCalculator* emd : emds) {
+      worst = std::max(worst, emd->ClusterEmd(cluster));
+    }
+    return worst;
+  };
+
+  std::vector<LiveCluster> live;
+  live.reserve(initial.clusters.size());
+  for (Cluster& cluster : initial.clusters) {
+    LiveCluster lc;
+    lc.centroid = space.Centroid(cluster);
+    lc.emd = worst_emd_of(cluster);
+    lc.rows = std::move(cluster);
+    live.push_back(std::move(lc));
+  }
+
+  size_t merges = 0;
+  size_t alive_count = live.size();
+  while (alive_count > 1) {
+    // Cluster farthest from satisfying t-closeness.
+    size_t worst = live.size();
+    double worst_emd = t;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i].alive && live[i].emd > worst_emd) {
+        worst_emd = live[i].emd;
+        worst = i;
+      }
+    }
+    if (worst == live.size()) break;  // every cluster is t-close
+
+    // Nearest alive cluster in QI centroid distance.
+    size_t partner = live.size();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (i == worst || !live[i].alive) continue;
+      double dist =
+          CentroidSquaredDistance(live[worst].centroid, live[i].centroid);
+      if (dist < best_dist) {
+        best_dist = dist;
+        partner = i;
+      }
+    }
+    TCM_CHECK_LT(partner, live.size());
+
+    LiveCluster& dst = live[worst];
+    LiveCluster& src = live[partner];
+    dst.centroid = WeightedCentroid(dst.centroid, dst.rows.size(),
+                                    src.centroid, src.rows.size());
+    dst.rows.insert(dst.rows.end(), src.rows.begin(), src.rows.end());
+    dst.emd = worst_emd_of(dst.rows);
+    src.alive = false;
+    src.rows.clear();
+    --alive_count;
+    ++merges;
+  }
+
+  Partition out;
+  double max_emd = 0.0;
+  for (LiveCluster& lc : live) {
+    if (!lc.alive) continue;
+    max_emd = std::max(max_emd, lc.emd);
+    out.clusters.push_back(std::move(lc.rows));
+  }
+  if (stats != nullptr) {
+    stats->merges = merges;
+    stats->final_max_emd = max_emd;
+  }
+  return out;
+}
+
+Result<Partition> MergeTCloseness(const QiSpace& space,
+                                  const EmdCalculator& emd, size_t k, double t,
+                                  const MicroaggOptions& options,
+                                  MergeStats* stats) {
+  TCM_ASSIGN_OR_RETURN(Partition initial, Microaggregate(space, k, options));
+  return MergeUntilTClose(space, emd, t, std::move(initial), stats);
+}
+
+}  // namespace tcm

@@ -1,0 +1,48 @@
+#ifndef TCM_TCLOSE_MERGE_H_
+#define TCM_TCLOSE_MERGE_H_
+
+#include "common/result.h"
+#include "distance/emd.h"
+#include "distance/qi_space.h"
+#include "microagg/microagg.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+// Statistics reported by the merging loop.
+struct MergeStats {
+  size_t merges = 0;        // number of cluster mergers performed
+  double final_max_emd = 0; // max per-cluster EMD after the loop
+};
+
+// Algorithm 1 (paper Sec. 5), merging phase only: repeatedly merge the
+// cluster with the greatest EMD to the whole data set into the cluster
+// nearest to it in quasi-identifier (centroid) distance, until every
+// cluster satisfies t-closeness. Always terminates: in the worst case all
+// records end up in one cluster with EMD 0.
+//
+// `initial` must be a valid partition of the records of `space`.
+Result<Partition> MergeUntilTClose(const QiSpace& space,
+                                   const EmdCalculator& emd, double t,
+                                   Partition initial,
+                                   MergeStats* stats = nullptr);
+
+// Multi-attribute variant: a cluster's violation is its worst EMD across
+// several confidential attributes (one calculator each); merging stops
+// when every cluster is within t for every attribute. Used to extend the
+// single-attribute algorithms to data sets with several confidential
+// attributes.
+Result<Partition> MergeUntilTCloseMulti(
+    const QiSpace& space, const std::vector<const EmdCalculator*>& emds,
+    double t, Partition initial, MergeStats* stats = nullptr);
+
+// Full Algorithm 1: standard microaggregation (per `options`) on the
+// quasi-identifiers followed by the merging phase.
+Result<Partition> MergeTCloseness(const QiSpace& space,
+                                  const EmdCalculator& emd, size_t k, double t,
+                                  const MicroaggOptions& options = {},
+                                  MergeStats* stats = nullptr);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_MERGE_H_

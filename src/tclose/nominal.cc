@@ -1,0 +1,180 @@
+#include "tclose/nominal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+#include "distance/emd_bounds.h"
+
+namespace tcm {
+namespace {
+
+// Largest-remainder allocation of `total` draws across categories in
+// proportion to `remaining` counts, capped by the remaining counts
+// themselves (the cap keeps the overall schedule consumable).
+std::vector<size_t> QuotaForCluster(const std::vector<size_t>& remaining,
+                                    size_t remaining_total, size_t total) {
+  const size_t J = remaining.size();
+  std::vector<size_t> quota(J, 0);
+  std::vector<std::pair<double, size_t>> remainders;  // (-frac, category)
+  size_t assigned = 0;
+  for (size_t j = 0; j < J; ++j) {
+    double exact = static_cast<double>(total) *
+                   static_cast<double>(remaining[j]) /
+                   static_cast<double>(remaining_total);
+    quota[j] = std::min(remaining[j], static_cast<size_t>(exact));
+    assigned += quota[j];
+    remainders.emplace_back(-(exact - std::floor(exact)), j);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  // Hand out the leftover draws by largest fractional part, skipping
+  // exhausted categories; loop twice in case caps bite.
+  for (int pass = 0; pass < 2 && assigned < total; ++pass) {
+    for (const auto& [unused, j] : remainders) {
+      if (assigned >= total) break;
+      if (quota[j] < remaining[j]) {
+        ++quota[j];
+        ++assigned;
+      }
+    }
+  }
+  TCM_CHECK_EQ(assigned, total) << "quota allocation infeasible";
+  return quota;
+}
+
+// Removes and returns the `count` QI-nearest rows to `seed` in `pool`.
+std::vector<size_t> TakeNearest(const QiSpace& space, size_t seed,
+                                std::vector<size_t>* pool, size_t count) {
+  TCM_CHECK_LE(count, pool->size());
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(pool->size());
+  for (size_t row : *pool) {
+    scored.emplace_back(space.SquaredDistance(row, seed), row);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + count, scored.end());
+  std::vector<size_t> taken;
+  taken.reserve(count);
+  for (size_t i = 0; i < count; ++i) taken.push_back(scored[i].second);
+  // Rebuild the pool without the taken rows.
+  std::vector<bool> removed_lookup;
+  size_t max_index = 0;
+  for (size_t row : *pool) max_index = std::max(max_index, row);
+  removed_lookup.assign(max_index + 1, false);
+  for (size_t row : taken) removed_lookup[row] = true;
+  std::erase_if(*pool, [&](size_t row) { return removed_lookup[row]; });
+  return taken;
+}
+
+}  // namespace
+
+double ClusterTotalVariation(const std::vector<int32_t>& categories,
+                             const std::vector<size_t>& rows) {
+  TCM_CHECK(!rows.empty());
+  TCM_CHECK(!categories.empty());
+  std::map<int32_t, double> global, cluster;
+  for (int32_t code : categories) {
+    global[code] += 1.0 / static_cast<double>(categories.size());
+  }
+  for (size_t row : rows) {
+    TCM_CHECK_LT(row, categories.size());
+    cluster[categories[row]] += 1.0 / static_cast<double>(rows.size());
+  }
+  double tv = 0.0;
+  for (const auto& [code, p] : global) {
+    auto it = cluster.find(code);
+    tv += std::fabs(p - (it == cluster.end() ? 0.0 : it->second));
+  }
+  for (const auto& [code, q] : cluster) {
+    if (global.find(code) == global.end()) tv += q;
+  }
+  return 0.5 * tv;
+}
+
+Result<Partition> NominalTCloseFirstPartition(
+    const QiSpace& space, const std::vector<int32_t>& categories, size_t k,
+    double t, NominalTCloseStats* stats) {
+  const size_t n = space.num_records();
+  if (categories.size() != n) {
+    return Status::InvalidArgument("categories size must equal record count");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) return Status::InvalidArgument("k exceeds number of records");
+  if (t <= 0.0) {
+    return Status::InvalidArgument(
+        "t must be positive for nominal t-closeness (TV 0 is a single "
+        "cluster)");
+  }
+
+  // Dense category index.
+  std::map<int32_t, size_t> code_to_index;
+  for (int32_t code : categories) {
+    code_to_index.emplace(code, code_to_index.size());
+  }
+  const size_t J = code_to_index.size();
+
+  // s* = max{k, ceil(J / t)}, adjusted so leftovers spread one-per-cluster.
+  size_t s = std::max(
+      k, static_cast<size_t>(std::ceil(static_cast<double>(J) / t)));
+  s = AdjustClusterSizeForRemainder(n, std::min(s, n));
+  if (stats != nullptr) {
+    stats->effective_k = s;
+    stats->num_categories = J;
+  }
+  if (s >= n) {
+    Partition partition;
+    Cluster all(n);
+    std::iota(all.begin(), all.end(), 0);
+    partition.clusters.push_back(std::move(all));
+    return partition;
+  }
+
+  // Per-category pools of record indices.
+  std::vector<std::vector<size_t>> pools(J);
+  for (size_t row = 0; row < n; ++row) {
+    pools[code_to_index[categories[row]]].push_back(row);
+  }
+  std::vector<size_t> remaining_per_category(J);
+  for (size_t j = 0; j < J; ++j) remaining_per_category[j] = pools[j].size();
+
+  const size_t num_clusters = n / s;
+  size_t leftovers = n % s;  // first `leftovers` clusters take s+1 records
+  size_t remaining_total = n;
+
+  Partition partition;
+  std::vector<size_t> all_remaining(n);
+  std::iota(all_remaining.begin(), all_remaining.end(), 0);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    size_t target = s + (c < leftovers ? 1 : 0);
+    // Seed: record farthest from the centroid of the remaining records.
+    std::vector<double> centroid = space.Centroid(all_remaining);
+    size_t seed = space.FarthestFromPoint(all_remaining, centroid);
+
+    std::vector<size_t> quota =
+        QuotaForCluster(remaining_per_category, remaining_total, target);
+    Cluster cluster;
+    cluster.reserve(target);
+    for (size_t j = 0; j < J; ++j) {
+      if (quota[j] == 0) continue;
+      std::vector<size_t> taken =
+          TakeNearest(space, seed, &pools[j], quota[j]);
+      remaining_per_category[j] -= quota[j];
+      cluster.insert(cluster.end(), taken.begin(), taken.end());
+    }
+    remaining_total -= target;
+
+    // Update the flat remaining list.
+    std::vector<bool> taken_lookup(n, false);
+    for (size_t row : cluster) taken_lookup[row] = true;
+    std::erase_if(all_remaining,
+                  [&](size_t row) { return taken_lookup[row]; });
+    partition.clusters.push_back(std::move(cluster));
+  }
+  TCM_CHECK_EQ(remaining_total, 0u);
+  TCM_CHECK(all_remaining.empty());
+  return partition;
+}
+
+}  // namespace tcm

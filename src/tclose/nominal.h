@@ -1,0 +1,50 @@
+#ifndef TCM_TCLOSE_NOMINAL_H_
+#define TCM_TCLOSE_NOMINAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "distance/qi_space.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+// t-Closeness-first microaggregation for NOMINAL confidential attributes —
+// the paper's research-direction item (i): "defining an EMD suitable to
+// compare categorical values". For nominal categories the EMD ground
+// distance is 1 between any two distinct categories, which makes EMD the
+// total variation (TV) distance. A cluster of size s whose per-category
+// counts are a largest-remainder rounding of s times the global category
+// proportions deviates by less than 1/s per category, so
+//   TV <= J / (2s)        (J = number of categories).
+// Choosing s* = max{k, ceil(J / t)} therefore leaves TV <= t/2 by the
+// bound, with the remaining t/2 as headroom for the drift of drawing
+// quotas from the *remaining* records (which keeps the overall allocation
+// exactly consumable).
+//
+// Cluster formation mirrors Algorithm 3: MDAV-style seeds in QI space,
+// each cluster drawing its per-category quota as the QI-nearest records
+// of that category.
+
+struct NominalTCloseStats {
+  size_t effective_k = 0;    // cluster size s*
+  size_t num_categories = 0; // J
+};
+
+// `categories[row]` is the nominal confidential code of each record
+// (codes need not be contiguous). InvalidArgument if sizes mismatch,
+// k == 0, k > n, or t <= 0 (a TV of 0 requires releasing one cluster —
+// pass t >= J/n instead).
+Result<Partition> NominalTCloseFirstPartition(
+    const QiSpace& space, const std::vector<int32_t>& categories, size_t k,
+    double t, NominalTCloseStats* stats = nullptr);
+
+// TV distance between the category distribution of `rows` and that of the
+// whole `categories` vector; the verification counterpart of the above.
+double ClusterTotalVariation(const std::vector<int32_t>& categories,
+                             const std::vector<size_t>& rows);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_NOMINAL_H_

@@ -1,0 +1,90 @@
+#include "tclose/report_io.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace tcm {
+
+std::string ReportToJson(const AnonymizationResult& result,
+                         const AnonymizerOptions& options) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"algorithm\":\"" << TCloseAlgorithmName(options.algorithm)
+      << "\",";
+  out << "\"k\":" << options.k << ",";
+  out << "\"t\":" << FormatDouble(options.t, 12) << ",";
+  out << "\"records\":" << result.anonymized.NumRecords() << ",";
+  out << "\"clusters\":" << result.partition.NumClusters() << ",";
+  out << "\"min_cluster_size\":" << result.min_cluster_size << ",";
+  out << "\"max_cluster_size\":" << result.max_cluster_size << ",";
+  out << "\"average_cluster_size\":"
+      << FormatDouble(result.average_cluster_size, 12) << ",";
+  out << "\"max_cluster_emd\":" << FormatDouble(result.max_cluster_emd, 12)
+      << ",";
+  out << "\"normalized_sse\":" << FormatDouble(result.normalized_sse, 12)
+      << ",";
+  out << "\"elapsed_seconds\":" << FormatDouble(result.elapsed_seconds, 12)
+      << ",";
+  out << "\"merges\":" << result.merges << ",";
+  out << "\"swaps\":" << result.swaps << ",";
+  out << "\"effective_k\":" << result.effective_k << ",";
+  // Cluster size histogram: {"size": count, ...} ordered by size.
+  std::map<size_t, size_t> histogram;
+  for (const Cluster& cluster : result.partition.clusters) {
+    ++histogram[cluster.size()];
+  }
+  out << "\"cluster_size_histogram\":{";
+  bool first = true;
+  for (const auto& [size, count] : histogram) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << size << "\":" << count;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string PartitionToTsv(const Partition& partition) {
+  std::ostringstream out;
+  for (size_t c = 0; c < partition.clusters.size(); ++c) {
+    for (size_t row : partition.clusters[c]) {
+      out << c << '\t' << row << '\n';
+    }
+  }
+  return out.str();
+}
+
+Result<Partition> PartitionFromTsv(const std::string& text,
+                                   size_t expected_records) {
+  Partition partition;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = SplitString(line, '\t');
+    if (fields.size() != 2) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": expected 2 tab-separated fields");
+    }
+    double cluster_id = 0, row_id = 0;
+    if (!ParseDouble(fields[0], &cluster_id) ||
+        !ParseDouble(fields[1], &row_id) || cluster_id < 0 || row_id < 0) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": malformed ids");
+    }
+    size_t cluster = static_cast<size_t>(cluster_id);
+    if (cluster >= partition.clusters.size()) {
+      partition.clusters.resize(cluster + 1);
+    }
+    partition.clusters[cluster].push_back(static_cast<size_t>(row_id));
+  }
+  TCM_RETURN_IF_ERROR(
+      ValidatePartition(partition, expected_records, /*min_cluster_size=*/1));
+  return partition;
+}
+
+}  // namespace tcm

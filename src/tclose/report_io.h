@@ -1,0 +1,33 @@
+#ifndef TCM_TCLOSE_REPORT_IO_H_
+#define TCM_TCLOSE_REPORT_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "microagg/partition.h"
+#include "tclose/anonymizer.h"
+
+namespace tcm {
+
+// Machine-readable serialization of anonymization outcomes, so pipelines
+// (CI checks, dashboards) can consume the audit trail without parsing
+// logs. The JSON emitted is a flat object of scalars plus the cluster
+// size histogram; the release itself travels separately as CSV.
+
+// {"algorithm": "...", "k": ..., "t": ..., "min_cluster_size": ..., ...}
+std::string ReportToJson(const AnonymizationResult& result,
+                         const AnonymizerOptions& options);
+
+// One line per cluster: "cluster_id<TAB>record_id" pairs; the exact
+// partition behind a release, for reproducibility audits.
+std::string PartitionToTsv(const Partition& partition);
+
+// Parses PartitionToTsv output back. IoError on malformed input;
+// FailedPrecondition if the result is not a valid partition of
+// `expected_records` records.
+Result<Partition> PartitionFromTsv(const std::string& text,
+                                   size_t expected_records);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_REPORT_IO_H_

@@ -1,0 +1,157 @@
+#include "tclose/tclose_first.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "distance/emd_bounds.h"
+
+namespace tcm {
+namespace {
+
+// Distributes the n mod k* leftover records over the central subsets.
+// Subset 0 is excluded: the pseudo-code's oversize test compares |Si|
+// against |S1|, so an extra parked on the first subset could never be
+// detected. Returns per-subset sizes.
+std::vector<size_t> SubsetSizes(size_t n, size_t k_star) {
+  size_t base = n / k_star;
+  size_t leftover = n % k_star;
+  std::vector<size_t> sizes(k_star, base);
+  if (leftover == 0) return sizes;
+  TCM_CHECK_GT(k_star, 1u);
+  // Candidate subsets ordered by distance to the centre (ties toward the
+  // lower index), mirroring the paper's Figs. 3-4.
+  std::vector<size_t> candidates;
+  for (size_t i = 1; i < k_star; ++i) candidates.push_back(i);
+  double centre = (static_cast<double>(k_star) - 1.0) / 2.0;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [centre](size_t a, size_t b) {
+                     return std::fabs(static_cast<double>(a) - centre) <
+                            std::fabs(static_cast<double>(b) - centre);
+                   });
+  for (size_t i = 0; i < leftover; ++i) ++sizes[candidates[i]];
+  return sizes;
+}
+
+// Removes and returns the subset element QI-nearest to `seed`.
+size_t TakeClosest(const QiSpace& space, size_t seed,
+                   std::vector<size_t>* subset) {
+  TCM_CHECK(!subset->empty());
+  size_t best_pos = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t pos = 0; pos < subset->size(); ++pos) {
+    double dist = space.SquaredDistance((*subset)[pos], seed);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_pos = pos;
+    }
+  }
+  size_t row = (*subset)[best_pos];
+  (*subset)[best_pos] = subset->back();
+  subset->pop_back();
+  return row;
+}
+
+Cluster BuildCluster(const QiSpace& space, size_t seed,
+                     std::vector<std::vector<size_t>>* subsets) {
+  Cluster cluster;
+  bool extra_taken = false;
+  for (size_t i = 0; i < subsets->size(); ++i) {
+    std::vector<size_t>& subset = (*subsets)[i];
+    if (subset.empty()) continue;  // only possible on the final cluster
+    cluster.push_back(TakeClosest(space, seed, &subset));
+    // Oversized central subset and no extra in this cluster yet: take a
+    // second record (paper: "if |Si| > |S1| and |C| = i").
+    if (!extra_taken && !subset.empty() &&
+        subset.size() > (*subsets)[0].size()) {
+      cluster.push_back(TakeClosest(space, seed, &subset));
+      extra_taken = true;
+    }
+  }
+  return cluster;
+}
+
+std::vector<size_t> Flatten(const std::vector<std::vector<size_t>>& subsets) {
+  std::vector<size_t> out;
+  for (const auto& subset : subsets) {
+    out.insert(out.end(), subset.begin(), subset.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Partition> TCloseFirstTCloseness(const QiSpace& space,
+                                        const EmdCalculator& emd, size_t k,
+                                        double t, TCloseFirstStats* stats) {
+  const size_t n = space.num_records();
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " exceeds number of records " +
+                                   std::to_string(n));
+  }
+  if (t < 0.0) return Status::InvalidArgument("t must be non-negative");
+
+  size_t k_star = RequiredClusterSize(n, k, t);
+  k_star = AdjustClusterSizeForRemainder(n, k_star);
+  if (stats != nullptr) {
+    stats->effective_k = k_star;
+    stats->num_subsets = k_star;
+  }
+  return SubsetDrawPartition(space, emd, k_star);
+}
+
+Result<Partition> SubsetDrawPartition(const QiSpace& space,
+                                      const EmdCalculator& emd,
+                                      size_t k_star) {
+  const size_t n = space.num_records();
+  if (k_star == 0) return Status::InvalidArgument("k_star must be positive");
+  k_star = AdjustClusterSizeForRemainder(n, std::min(k_star, n));
+
+  Partition partition;
+  if (k_star >= n) {
+    Cluster all(n);
+    std::iota(all.begin(), all.end(), 0);
+    partition.clusters.push_back(std::move(all));
+    return partition;
+  }
+
+  // Records in ascending confidential order, sliced into k* subsets.
+  std::vector<size_t> rows_by_rank(n);
+  for (size_t row = 0; row < n; ++row) rows_by_rank[emd.RankOf(row)] = row;
+  std::vector<size_t> sizes = SubsetSizes(n, k_star);
+  std::vector<std::vector<size_t>> subsets(k_star);
+  size_t cursor = 0;
+  for (size_t i = 0; i < k_star; ++i) {
+    subsets[i].assign(rows_by_rank.begin() + cursor,
+                      rows_by_rank.begin() + cursor + sizes[i]);
+    cursor += sizes[i];
+  }
+  TCM_CHECK_EQ(cursor, n);
+
+  size_t remaining = n;
+  while (remaining > 0) {
+    std::vector<size_t> pool = Flatten(subsets);
+    std::vector<double> centroid = space.Centroid(pool);
+    size_t x0 = space.FarthestFromPoint(pool, centroid);
+    Cluster first = BuildCluster(space, x0, &subsets);
+    remaining -= first.size();
+    partition.clusters.push_back(std::move(first));
+
+    if (remaining > 0) {
+      pool = Flatten(subsets);
+      const double* x0_point = space.point(x0);
+      std::vector<double> x0_coords(x0_point, x0_point + space.num_dims());
+      size_t x1 = space.FarthestFromPoint(pool, x0_coords);
+      Cluster second = BuildCluster(space, x1, &subsets);
+      remaining -= second.size();
+      partition.clusters.push_back(std::move(second));
+    }
+  }
+  return partition;
+}
+
+}  // namespace tcm

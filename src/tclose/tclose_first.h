@@ -1,0 +1,47 @@
+#ifndef TCM_TCLOSE_TCLOSE_FIRST_H_
+#define TCM_TCLOSE_TCLOSE_FIRST_H_
+
+#include "common/result.h"
+#include "distance/emd.h"
+#include "distance/qi_space.h"
+#include "microagg/partition.h"
+
+namespace tcm {
+
+struct TCloseFirstStats {
+  size_t effective_k = 0;  // cluster size after Eq. (3) and Eq. (4)
+  size_t num_subsets = 0;  // == effective_k
+};
+
+// Algorithm 3 (paper Sec. 7), t-closeness-first microaggregation:
+//  1. k* = max{k, ceil(n / (2(n-1)t + 1))} (Eq. 3, from Proposition 2),
+//     enlarged per Eq. (4) so leftovers do not outnumber clusters.
+//  2. Records are split into k* subsets of floor(n/k*) consecutive records
+//     in ascending confidential-attribute order; the n mod k* leftover
+//     records go to the central subset(s).
+//  3. Clusters are grown MDAV-style in QI space, drawing exactly one
+//     record (the QI-nearest to the seed) from every subset, plus at most
+//     one extra record from an oversized central subset.
+// Every cluster holds one record per subset, so Proposition 2 bounds its
+// EMD by (n-k*)/(2(n-1)k*) <= t: t-closeness holds by construction and no
+// EMD is ever evaluated (the EmdCalculator is used only for ranks).
+//
+// InvalidArgument if k == 0, k > n or t < 0.
+Result<Partition> TCloseFirstTCloseness(const QiSpace& space,
+                                        const EmdCalculator& emd, size_t k,
+                                        double t,
+                                        TCloseFirstStats* stats = nullptr);
+
+// The subset-draw engine behind Algorithm 3, exposed as a building block
+// (the SABRE-like baseline reuses it with its own bucket count): splits
+// the confidential sort order into `k_star` equal-frequency subsets
+// (leftovers to the central subsets) and grows clusters drawing one
+// QI-nearest record per subset. `k_star` should already satisfy Eq. (4);
+// it is re-adjusted defensively. k_star >= n collapses to one cluster.
+Result<Partition> SubsetDrawPartition(const QiSpace& space,
+                                      const EmdCalculator& emd,
+                                      size_t k_star);
+
+}  // namespace tcm
+
+#endif  // TCM_TCLOSE_TCLOSE_FIRST_H_

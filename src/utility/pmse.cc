@@ -1,0 +1,128 @@
+#include "utility/pmse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/stats.h"
+
+namespace tcm {
+namespace {
+
+// Design matrix: intercept + standardized QI columns of both tables
+// stacked (original first). Standardization uses the pooled moments so
+// both tables get the same map.
+struct StackedDesign {
+  std::vector<std::vector<double>> rows;  // N x (d+1)
+  std::vector<int> labels;                // 0 original, 1 anonymized
+};
+
+Result<StackedDesign> BuildDesign(const Dataset& original,
+                                  const Dataset& anonymized) {
+  if (original.NumRecords() != anonymized.NumRecords() ||
+      original.NumAttributes() != anonymized.NumAttributes()) {
+    return Status::InvalidArgument("dataset shapes differ");
+  }
+  if (original.NumRecords() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  std::vector<size_t> qi = original.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  const size_t n = original.NumRecords();
+  const size_t d = qi.size();
+
+  StackedDesign design;
+  // Features: intercept, z_j and z_j^2 per QI. The squares matter:
+  // mean-preserving maskings (microaggregation!) leave first moments
+  // untouched, so a purely linear discriminator would be blind to them;
+  // the variance shrinkage shows up in the squared terms.
+  design.rows.assign(2 * n, std::vector<double>(1 + 2 * d, 1.0));
+  design.labels.assign(2 * n, 0);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> orig_col = original.ColumnAsDouble(qi[j]);
+    std::vector<double> anon_col = anonymized.ColumnAsDouble(qi[j]);
+    std::vector<double> pooled = orig_col;
+    pooled.insert(pooled.end(), anon_col.begin(), anon_col.end());
+    double mean = Mean(pooled);
+    double sd = StdDev(pooled);
+    double inv = sd > 0.0 ? 1.0 / sd : 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double zo = (orig_col[i] - mean) * inv;
+      double za = (anon_col[i] - mean) * inv;
+      design.rows[i][1 + 2 * j] = zo;
+      design.rows[i][2 + 2 * j] = zo * zo;
+      design.rows[n + i][1 + 2 * j] = za;
+      design.rows[n + i][2 + 2 * j] = za * za;
+      design.labels[n + i] = 1;
+    }
+  }
+  return design;
+}
+
+}  // namespace
+
+Result<std::vector<double>> PropensityLogisticFit(const Dataset& original,
+                                                  const Dataset& anonymized,
+                                                  const PmseOptions& options) {
+  TCM_ASSIGN_OR_RETURN(StackedDesign design,
+                       BuildDesign(original, anonymized));
+  const size_t count = design.rows.size();
+  const size_t dims = design.rows[0].size();
+
+  std::vector<double> beta(dims, 0.0);
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // Gradient and Hessian of the log-likelihood.
+    std::vector<double> gradient(dims, 0.0);
+    std::vector<std::vector<double>> hessian(dims,
+                                             std::vector<double>(dims, 0.0));
+    for (size_t i = 0; i < count; ++i) {
+      const std::vector<double>& x = design.rows[i];
+      double linear = 0.0;
+      for (size_t j = 0; j < dims; ++j) linear += beta[j] * x[j];
+      double p = 1.0 / (1.0 + std::exp(-linear));
+      double residual = static_cast<double>(design.labels[i]) - p;
+      double weight = p * (1.0 - p);
+      for (size_t a = 0; a < dims; ++a) {
+        gradient[a] += residual * x[a];
+        for (size_t b = a; b < dims; ++b) {
+          hessian[a][b] += weight * x[a] * x[b];
+        }
+      }
+    }
+    for (size_t a = 0; a < dims; ++a) {
+      hessian[a][a] += options.ridge * static_cast<double>(count);
+      for (size_t b = 0; b < a; ++b) hessian[a][b] = hessian[b][a];
+      gradient[a] -= options.ridge * static_cast<double>(count) * beta[a];
+    }
+    std::vector<double> step;
+    if (!SolveLinearSystem(hessian, gradient, &step)) break;
+    double max_step = 0.0;
+    for (size_t j = 0; j < dims; ++j) {
+      beta[j] += step[j];
+      max_step = std::max(max_step, std::fabs(step[j]));
+    }
+    if (max_step < options.tolerance) break;
+  }
+  return beta;
+}
+
+Result<double> PropensityMse(const Dataset& original,
+                             const Dataset& anonymized,
+                             const PmseOptions& options) {
+  TCM_ASSIGN_OR_RETURN(std::vector<double> beta,
+                       PropensityLogisticFit(original, anonymized, options));
+  TCM_ASSIGN_OR_RETURN(StackedDesign design,
+                       BuildDesign(original, anonymized));
+  double total = 0.0;
+  for (const std::vector<double>& x : design.rows) {
+    double linear = 0.0;
+    for (size_t j = 0; j < x.size(); ++j) linear += beta[j] * x[j];
+    double p = 1.0 / (1.0 + std::exp(-linear));
+    total += (p - 0.5) * (p - 0.5);
+  }
+  return total / static_cast<double>(design.rows.size());
+}
+
+}  // namespace tcm

@@ -1,0 +1,43 @@
+#ifndef TCM_UTILITY_PMSE_H_
+#define TCM_UTILITY_PMSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+// Propensity-score mean-squared error (Woo et al. 2009; Snoke et al.
+// 2018), the SDC community's discriminator-based utility measure: stack
+// the original and anonymized records, fit a classifier predicting which
+// table a record came from, and score
+//     pMSE = (1/N) * sum_i (p_hat_i - 1/2)^2.
+// A release indistinguishable from the original yields p_hat ~ 1/2
+// everywhere (pMSE ~ 0); the more the masking distorts the joint QI
+// distribution, the better the discriminator and the larger the pMSE.
+// The classifier here is logistic regression on the (standardized)
+// quasi-identifiers with intercept, fit by Newton-Raphson.
+
+struct PmseOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-8;
+  // L2 ridge on the Newton step; keeps the Hessian invertible when the
+  // tables are linearly separable (extremely distorted releases).
+  double ridge = 1e-6;
+};
+
+// InvalidArgument if shapes differ or there are no quasi-identifiers.
+Result<double> PropensityMse(const Dataset& original,
+                             const Dataset& anonymized,
+                             const PmseOptions& options = {});
+
+// The fitted coefficients (intercept first), exposed for tests and for
+// inspecting which attribute betrays the release.
+Result<std::vector<double>> PropensityLogisticFit(
+    const Dataset& original, const Dataset& anonymized,
+    const PmseOptions& options = {});
+
+}  // namespace tcm
+
+#endif  // TCM_UTILITY_PMSE_H_

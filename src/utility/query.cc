@@ -1,0 +1,78 @@
+#include "utility/query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/stats.h"
+
+namespace tcm {
+
+Result<RangeQueryAccuracy> EvaluateRangeQueries(
+    const Dataset& original, const Dataset& anonymized,
+    const RangeQueryOptions& options) {
+  if (original.NumRecords() != anonymized.NumRecords() ||
+      original.NumAttributes() != anonymized.NumAttributes()) {
+    return Status::InvalidArgument("dataset shapes differ");
+  }
+  if (original.NumRecords() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (options.selectivity <= 0.0 || options.selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  if (options.num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be positive");
+  }
+  std::vector<size_t> qi = original.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+
+  std::vector<std::vector<double>> orig_cols, anon_cols;
+  std::vector<double> lo(qi.size()), width(qi.size());
+  for (size_t j = 0; j < qi.size(); ++j) {
+    orig_cols.push_back(original.ColumnAsDouble(qi[j]));
+    anon_cols.push_back(anonymized.ColumnAsDouble(qi[j]));
+    lo[j] = Min(orig_cols[j]);
+    width[j] = Range(orig_cols[j]);
+  }
+
+  Rng rng(options.seed);
+  RangeQueryAccuracy out;
+  out.num_queries = options.num_queries;
+  const size_t n = original.NumRecords();
+  double total_abs = 0.0, total_rel = 0.0;
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    // Random box: per attribute an interval of `selectivity` of the range.
+    std::vector<double> box_lo(qi.size()), box_hi(qi.size());
+    for (size_t j = 0; j < qi.size(); ++j) {
+      double span = width[j] * options.selectivity;
+      double start = lo[j] + (width[j] - span) * rng.NextDouble();
+      box_lo[j] = start;
+      box_hi[j] = start + span;
+    }
+    size_t count_orig = 0, count_anon = 0;
+    for (size_t row = 0; row < n; ++row) {
+      bool in_orig = true, in_anon = true;
+      for (size_t j = 0; j < qi.size() && (in_orig || in_anon); ++j) {
+        double vo = orig_cols[j][row];
+        double va = anon_cols[j][row];
+        in_orig = in_orig && vo >= box_lo[j] && vo <= box_hi[j];
+        in_anon = in_anon && va >= box_lo[j] && va <= box_hi[j];
+      }
+      count_orig += in_orig ? 1 : 0;
+      count_anon += in_anon ? 1 : 0;
+    }
+    double abs_err = std::fabs(static_cast<double>(count_orig) -
+                               static_cast<double>(count_anon));
+    total_abs += abs_err;
+    total_rel += abs_err / std::max<double>(1.0, count_orig);
+    out.max_absolute_error = std::max(out.max_absolute_error, abs_err);
+  }
+  out.mean_absolute_error = total_abs / static_cast<double>(out.num_queries);
+  out.mean_relative_error = total_rel / static_cast<double>(out.num_queries);
+  return out;
+}
+
+}  // namespace tcm

@@ -1,0 +1,40 @@
+#ifndef TCM_UTILITY_QUERY_H_
+#define TCM_UTILITY_QUERY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace tcm {
+
+// Workload-based utility: random range (subdomain) COUNT queries over the
+// quasi-identifiers, evaluated on the original and the anonymized data.
+// The paper motivates SSE by noting that high information loss damages
+// "subdomain analyses (analyses restricted to parts of the data set)";
+// this harness measures that damage directly.
+
+struct RangeQueryOptions {
+  size_t num_queries = 200;
+  // Each query selects, per QI attribute, a random interval covering this
+  // fraction of the attribute's range.
+  double selectivity = 0.3;
+  uint64_t seed = 1;
+};
+
+struct RangeQueryAccuracy {
+  double mean_absolute_error = 0.0;   // |count - count'| averaged
+  double mean_relative_error = 0.0;   // |count - count'| / max(count, 1)
+  double max_absolute_error = 0.0;
+  size_t num_queries = 0;
+};
+
+// InvalidArgument if shapes differ, there are no QIs, or the options are
+// out of range (selectivity must be in (0, 1]).
+Result<RangeQueryAccuracy> EvaluateRangeQueries(
+    const Dataset& original, const Dataset& anonymized,
+    const RangeQueryOptions& options = {});
+
+}  // namespace tcm
+
+#endif  // TCM_UTILITY_QUERY_H_

@@ -1,0 +1,231 @@
+// Tests for the Anatomy-style two-table release and the dataset summary
+// profiler, plus the integrated handling of ordinal confidential
+// attributes (paper future-work item iii).
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/summary.h"
+#include "distance/qi_space.h"
+#include "microagg/mdav.h"
+#include "privacy/tcloseness.h"
+#include "tclose/anatomy.h"
+#include "tclose/anonymizer.h"
+
+namespace tcm {
+namespace {
+
+Partition TwoGroups() {
+  Partition partition;
+  partition.clusters = {{0, 2}, {1, 3}};
+  return partition;
+}
+
+Dataset SmallData() {
+  auto data = DatasetFromColumns(
+      {"q", "other", "conf"},
+      {{10, 20, 30, 40}, {7, 7, 8, 8}, {1, 2, 3, 4}},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kOther,
+       AttributeRole::kConfidential});
+  return std::move(data).value();
+}
+
+// ----------------------------------------------------------------- Anatomy
+
+TEST(AnatomyTest, QiTableKeepsOriginalValues) {
+  Dataset data = SmallData();
+  auto release = MakeAnatomyRelease(data, TwoGroups());
+  ASSERT_TRUE(release.ok());
+  // QI column published verbatim (the anatomy selling point: zero QI SSE).
+  EXPECT_EQ(release->qi_table.ColumnAsDouble(0),
+            (std::vector<double>{10, 20, 30, 40}));
+  // kOther attributes ride along; confidential ones do not.
+  ASSERT_EQ(release->qi_table.NumAttributes(), 3u);  // q, other, GROUP_ID
+  EXPECT_EQ(release->qi_table.schema().at(1).name, "other");
+  EXPECT_EQ(release->qi_table.schema().at(2).name, "GROUP_ID");
+}
+
+TEST(AnatomyTest, GroupIdsMatchPartition) {
+  Dataset data = SmallData();
+  auto release = MakeAnatomyRelease(data, TwoGroups());
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->qi_table.ColumnAsDouble(2),
+            (std::vector<double>{0, 1, 0, 1}));
+}
+
+TEST(AnatomyTest, SensitiveTableHoldsGroupDistributions) {
+  Dataset data = SmallData();
+  auto release = MakeAnatomyRelease(data, TwoGroups());
+  ASSERT_TRUE(release.ok());
+  ASSERT_EQ(release->sensitive_table.NumRecords(), 4u);
+  // Group 0 holds confidential values {1, 3}; group 1 holds {2, 4}.
+  std::multiset<std::pair<double, double>> rows;
+  for (size_t row = 0; row < 4; ++row) {
+    rows.insert({release->sensitive_table.cell(row, 0).numeric(),
+                 release->sensitive_table.cell(row, 1).numeric()});
+  }
+  EXPECT_TRUE(rows.count({0, 1}) == 1 && rows.count({0, 3}) == 1);
+  EXPECT_TRUE(rows.count({1, 2}) == 1 && rows.count({1, 4}) == 1);
+}
+
+TEST(AnatomyTest, SensitiveRowsSortedWithinGroup) {
+  // Within a group the rows must be in confidential order, not record
+  // order, so position does not leak identity.
+  Dataset data = SmallData();
+  Partition partition;
+  partition.clusters = {{3, 0, 2, 1}};  // scrambled record order
+  auto release = MakeAnatomyRelease(data, partition);
+  ASSERT_TRUE(release.ok());
+  std::vector<double> conf = release->sensitive_table.ColumnAsDouble(1);
+  EXPECT_TRUE(std::is_sorted(conf.begin(), conf.end()));
+}
+
+TEST(AnatomyTest, RequiresValidPartitionAndRoles) {
+  Dataset data = SmallData();
+  Partition bad;
+  bad.clusters = {{0, 1}};
+  EXPECT_FALSE(MakeAnatomyRelease(data, bad).ok());
+  auto no_conf = DatasetFromColumns(
+      {"q", "x"}, {{1, 2}, {3, 4}},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kOther});
+  ASSERT_TRUE(no_conf.ok());
+  Partition one;
+  one.clusters = {{0, 1}};
+  EXPECT_FALSE(MakeAnatomyRelease(*no_conf, one).ok());
+}
+
+TEST(AnatomyTest, DisclosureScoreKnownValues) {
+  Dataset data = SmallData();
+  // Distinct values per group -> 1/2.
+  EXPECT_DOUBLE_EQ(AnatomyAttributeDisclosure(data, TwoGroups()).value(),
+                   0.5);
+  // One group with a duplicated value {1,1,3,4}: posterior peak 2/4.
+  auto dup = DatasetFromColumns(
+      {"q", "conf"}, {{1, 2, 3, 4}, {1, 1, 3, 4}},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kConfidential});
+  ASSERT_TRUE(dup.ok());
+  Partition one;
+  one.clusters = {{0, 1, 2, 3}};
+  EXPECT_DOUBLE_EQ(AnatomyAttributeDisclosure(*dup, one).value(), 0.5);
+}
+
+TEST(AnatomyTest, TClosePartitionCarriesOver) {
+  // Build a t-close partition, release via anatomy, and confirm that the
+  // per-group confidential EMD bound is the one the partition achieved.
+  Dataset data = MakeMcdDataset();
+  AnonymizerOptions options;
+  options.k = 5;
+  options.t = 0.1;
+  auto result = Anonymize(data, options);
+  ASSERT_TRUE(result.ok());
+  auto release = MakeAnatomyRelease(data, result->partition);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->qi_table.NumRecords(), data.NumRecords());
+  EXPECT_EQ(release->sensitive_table.NumRecords(), data.NumRecords());
+  // Every group in the sensitive table has >= k rows.
+  std::map<double, size_t> group_sizes;
+  for (size_t row = 0; row < release->sensitive_table.NumRecords(); ++row) {
+    ++group_sizes[release->sensitive_table.cell(row, 0).numeric()];
+  }
+  for (const auto& [unused, size] : group_sizes) EXPECT_GE(size, 5u);
+}
+
+// ----------------------------------------------------------------- Summary
+
+TEST(SummaryTest, StatisticsMatchKnownData) {
+  Dataset data = SmallData();
+  auto summary = SummarizeDataset(data);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->records, 4u);
+  ASSERT_EQ(summary->attributes.size(), 3u);
+  const AttributeSummary& q = summary->attributes[0];
+  EXPECT_DOUBLE_EQ(q.min, 10.0);
+  EXPECT_DOUBLE_EQ(q.max, 40.0);
+  EXPECT_DOUBLE_EQ(q.mean, 25.0);
+  EXPECT_DOUBLE_EQ(q.median, 25.0);
+  EXPECT_EQ(q.distinct_values, 4u);
+  EXPECT_EQ(summary->attributes[1].distinct_values, 2u);
+  ASSERT_EQ(summary->qi_confidential_correlation.size(), 1u);
+  EXPECT_NEAR(summary->qi_confidential_correlation[0], 1.0, 1e-9);
+}
+
+TEST(SummaryTest, EmptyDatasetRejected) {
+  Dataset empty;
+  EXPECT_FALSE(SummarizeDataset(empty).ok());
+}
+
+TEST(SummaryTest, FormatIncludesEveryAttribute) {
+  auto summary = SummarizeDataset(SmallData());
+  ASSERT_TRUE(summary.ok());
+  std::string text = FormatSummary(*summary);
+  EXPECT_NE(text.find("conf"), std::string::npos);
+  EXPECT_NE(text.find("quasi-identifier"), std::string::npos);
+  EXPECT_NE(text.find("records: 4"), std::string::npos);
+}
+
+TEST(SummaryTest, HistogramCountsSumToRecords) {
+  Dataset data = MakeUniformDataset(500, 2, 3);
+  auto histogram = ColumnHistogram(data, 0, 10);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ(std::accumulate(histogram->begin(), histogram->end(), size_t{0}),
+            500u);
+}
+
+TEST(SummaryTest, HistogramErrors) {
+  Dataset data = SmallData();
+  EXPECT_FALSE(ColumnHistogram(data, 9, 4).ok());
+  EXPECT_FALSE(ColumnHistogram(data, 0, 0).ok());
+}
+
+TEST(SummaryTest, ConstantColumnHistogramLandsInFirstBin) {
+  auto data = DatasetFromColumns({"x"}, {{5, 5, 5}}, {AttributeRole::kOther});
+  ASSERT_TRUE(data.ok());
+  auto histogram = ColumnHistogram(*data, 0, 4);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ((*histogram)[0], 3u);
+}
+
+// ------------------------------------------- Ordinal confidential attribute
+
+TEST(OrdinalConfidentialTest, AnonymizeHandlesOrdinalConfidential) {
+  // Future-work item (iii): numeric QIs with an ordinal (rankable)
+  // confidential attribute flow through the full pipeline; EMD operates
+  // on the category ranks.
+  Schema schema({
+      Attribute{"age", AttributeType::kNumeric,
+                AttributeRole::kQuasiIdentifier, {}},
+      Attribute{"income", AttributeType::kNumeric,
+                AttributeRole::kQuasiIdentifier, {}},
+      Attribute{"severity", AttributeType::kOrdinal,
+                AttributeRole::kConfidential,
+                {"none", "mild", "moderate", "severe", "critical"}},
+  });
+  Dataset data(schema);
+  Rng rng(33);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(data.Append({Value::Numeric(20 + rng.NextDouble() * 60),
+                             Value::Numeric(rng.NextDouble() * 1e5),
+                             Value::Categorical(static_cast<int32_t>(
+                                 rng.NextBounded(5)))})
+                    .ok());
+  }
+  AnonymizerOptions options;
+  options.k = 4;
+  options.t = 0.1;
+  auto result = Anonymize(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->max_cluster_emd, 0.1 + 1e-9);
+  auto verified = IsTClose(result->anonymized, 0.1);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(*verified);
+  // Ordinal column released unchanged.
+  EXPECT_EQ(result->anonymized.ColumnAsDouble(2), data.ColumnAsDouble(2));
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,213 @@
+// Tests for chunked (scalable) microaggregation and multi-confidential-
+// attribute t-closeness enforcement.
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "data/generator.h"
+#include "distance/qi_space.h"
+#include "microagg/aggregate.h"
+#include "microagg/chunked.h"
+#include "microagg/mdav.h"
+#include "privacy/tcloseness.h"
+#include "tclose/anonymizer.h"
+#include "tclose/merge.h"
+#include "utility/sse.h"
+
+namespace tcm {
+namespace {
+
+// ----------------------------------------------------------------- Chunked
+
+TEST(ChunkedTest, ValidPartitionAcrossChunkSizes) {
+  Dataset data = MakeUniformDataset(1000, 3, 41);
+  QiSpace space(data);
+  for (size_t chunk : {64u, 256u, 5000u}) {
+    ChunkedOptions options;
+    options.chunk_size = chunk;
+    auto partition = ChunkedMicroaggregation(space, 5, options);
+    ASSERT_TRUE(partition.ok()) << "chunk=" << chunk;
+    EXPECT_TRUE(ValidatePartition(*partition, 1000, 5).ok());
+    EXPECT_LE(partition->MaxClusterSize(), 9u);
+  }
+}
+
+TEST(ChunkedTest, HugeChunkEqualsPlainMdav) {
+  Dataset data = MakeUniformDataset(300, 2, 43);
+  QiSpace space(data);
+  ChunkedOptions options;
+  options.chunk_size = 10000;  // larger than n: one chunk
+  auto chunked = ChunkedMicroaggregation(space, 4, options);
+  auto plain = Mdav(space, 4);
+  ASSERT_TRUE(chunked.ok() && plain.ok());
+  EXPECT_EQ(chunked->clusters, plain->clusters);
+}
+
+TEST(ChunkedTest, TinyChunkIsClampedToThreeK) {
+  Dataset data = MakeUniformDataset(200, 2, 47);
+  QiSpace space(data);
+  ChunkedOptions options;
+  options.chunk_size = 1;  // clamped to 3k
+  auto partition = ChunkedMicroaggregation(space, 6, options);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_TRUE(ValidatePartition(*partition, 200, 6).ok());
+}
+
+TEST(ChunkedTest, RejectsBadArguments) {
+  Dataset data = MakeUniformDataset(50, 2, 49);
+  QiSpace space(data);
+  EXPECT_FALSE(ChunkedMicroaggregation(space, 0).ok());
+  EXPECT_FALSE(ChunkedMicroaggregation(space, 51).ok());
+  ChunkedOptions options;
+  options.chunk_size = 0;
+  EXPECT_FALSE(ChunkedMicroaggregation(space, 2, options).ok());
+}
+
+TEST(ChunkedTest, SseDegradesGracefully) {
+  // Chunked SSE must stay within a small factor of full MDAV — the
+  // contract that justifies it on big data.
+  Dataset data = MakePatientDischargeLike({3000, 51});
+  QiSpace space(data);
+  auto full = Mdav(space, 5);
+  ChunkedOptions options;
+  options.chunk_size = 256;
+  auto chunked = ChunkedMicroaggregation(space, 5, options);
+  ASSERT_TRUE(full.ok() && chunked.ok());
+  auto full_release = AggregatePartition(data, *full);
+  auto chunked_release = AggregatePartition(data, *chunked);
+  ASSERT_TRUE(full_release.ok() && chunked_release.ok());
+  double full_sse = NormalizedSse(data, *full_release).value();
+  double chunked_sse = NormalizedSse(data, *chunked_release).value();
+  EXPECT_LT(chunked_sse, full_sse * 4.0 + 1e-9);
+}
+
+TEST(ChunkedTest, FasterThanFullMdavOnLargeInput) {
+  Dataset data = MakePatientDischargeLike({8000, 53});
+  QiSpace space(data);
+  WallTimer timer;
+  ASSERT_TRUE(Mdav(space, 3).ok());
+  double full_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+  ChunkedOptions options;
+  options.chunk_size = 512;
+  ASSERT_TRUE(ChunkedMicroaggregation(space, 3, options).ok());
+  double chunked_seconds = timer.ElapsedSeconds();
+  EXPECT_LT(chunked_seconds, full_seconds);
+}
+
+TEST(ChunkedTest, InnerMethodSelectable) {
+  Dataset data = MakeUniformDataset(400, 2, 57);
+  QiSpace space(data);
+  for (MicroaggMethod method :
+       {MicroaggMethod::kMdav, MicroaggMethod::kVMdav,
+        MicroaggMethod::kProjection}) {
+    ChunkedOptions options;
+    options.chunk_size = 100;
+    options.inner.method = method;
+    auto partition = ChunkedMicroaggregation(space, 4, options);
+    ASSERT_TRUE(partition.ok()) << MicroaggMethodName(method);
+    EXPECT_TRUE(ValidatePartition(*partition, 400, 4).ok())
+        << MicroaggMethodName(method);
+  }
+}
+
+TEST(ChunkedTest, SubsetHelpersCoverOnlyGivenRows) {
+  Dataset data = MakeUniformDataset(100, 2, 59);
+  QiSpace space(data);
+  std::vector<size_t> rows = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+  for (MicroaggMethod method :
+       {MicroaggMethod::kMdav, MicroaggMethod::kVMdav,
+        MicroaggMethod::kProjection}) {
+    MicroaggOptions options;
+    options.method = method;
+    auto partition = MicroaggregateRows(space, rows, 3, options);
+    ASSERT_TRUE(partition.ok()) << MicroaggMethodName(method);
+    std::vector<size_t> covered;
+    for (const Cluster& cluster : partition->clusters) {
+      covered.insert(covered.end(), cluster.begin(), cluster.end());
+    }
+    std::sort(covered.begin(), covered.end());
+    EXPECT_EQ(covered, rows) << MicroaggMethodName(method);
+  }
+}
+
+// ----------------------------------------------- Multi-attribute closeness
+
+Dataset CensusWithBothConfidential() {
+  Dataset data = MakeCensusLike();
+  auto schema =
+      data.schema().WithRole("FEDTAX", AttributeRole::kConfidential);
+  auto schema2 = schema->WithRole("FICA", AttributeRole::kConfidential);
+  EXPECT_TRUE(data.ReplaceSchema(std::move(schema2).value()).ok());
+  return data;
+}
+
+TEST(MultiAttributeTest, SingleAttributeSteeringLeavesOthersUnbounded) {
+  // Without enforce_all_confidential, the second attribute may violate t
+  // (this documents why the flag exists).
+  Dataset data = CensusWithBothConfidential();
+  AnonymizerOptions options;
+  options.k = 2;
+  options.t = 0.05;
+  options.algorithm = TCloseAlgorithm::kTClosenessFirst;
+  auto result = Anonymize(data, options);
+  ASSERT_TRUE(result.ok());
+  auto secondary = EvaluateTCloseness(result->anonymized, 1);
+  ASSERT_TRUE(secondary.ok());
+  EXPECT_GT(secondary->max_emd, 0.05);
+}
+
+TEST(MultiAttributeTest, EnforceAllBoundsEveryAttribute) {
+  Dataset data = CensusWithBothConfidential();
+  AnonymizerOptions options;
+  options.k = 2;
+  options.t = 0.1;
+  options.enforce_all_confidential = true;
+  for (TCloseAlgorithm algorithm :
+       {TCloseAlgorithm::kMicroaggregationMerge,
+        TCloseAlgorithm::kKAnonymityFirst,
+        TCloseAlgorithm::kTClosenessFirst}) {
+    options.algorithm = algorithm;
+    auto result = Anonymize(data, options);
+    ASSERT_TRUE(result.ok()) << TCloseAlgorithmName(algorithm);
+    for (size_t offset : {0u, 1u}) {
+      auto report = EvaluateTCloseness(result->anonymized, offset);
+      ASSERT_TRUE(report.ok());
+      EXPECT_LE(report->max_emd, 0.1 + 1e-9)
+          << TCloseAlgorithmName(algorithm) << " attribute " << offset;
+    }
+    EXPECT_LE(result->max_cluster_emd, 0.1 + 1e-9);
+  }
+}
+
+TEST(MultiAttributeTest, MultiMergeDirectApi) {
+  Dataset data = CensusWithBothConfidential();
+  QiSpace space(data);
+  EmdCalculator fedtax(data, 0);
+  EmdCalculator fica(data, 1);
+  auto initial = Mdav(space, 3);
+  ASSERT_TRUE(initial.ok());
+  MergeStats stats;
+  auto merged = MergeUntilTCloseMulti(space, {&fedtax, &fica}, 0.08,
+                                      *initial, &stats);
+  ASSERT_TRUE(merged.ok());
+  for (const Cluster& cluster : merged->clusters) {
+    EXPECT_LE(fedtax.ClusterEmd(cluster), 0.08 + 1e-12);
+    EXPECT_LE(fica.ClusterEmd(cluster), 0.08 + 1e-12);
+  }
+  EXPECT_LE(stats.final_max_emd, 0.08 + 1e-12);
+}
+
+TEST(MultiAttributeTest, MultiMergeRequiresCalculators) {
+  Dataset data = MakeUniformDataset(20, 2, 61);
+  QiSpace space(data);
+  auto initial = Mdav(space, 2);
+  ASSERT_TRUE(initial.ok());
+  EXPECT_FALSE(MergeUntilTCloseMulti(space, {}, 0.1, *initial).ok());
+}
+
+}  // namespace
+}  // namespace tcm

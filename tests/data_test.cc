@@ -1,0 +1,454 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/attribute.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/stats.h"
+#include "data/value.h"
+
+namespace tcm {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, NumericRoundTrip) {
+  Value v = Value::Numeric(3.25);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_FALSE(v.is_categorical());
+  EXPECT_DOUBLE_EQ(v.numeric(), 3.25);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.25);
+}
+
+TEST(ValueTest, CategoricalRoundTrip) {
+  Value v = Value::Categorical(7);
+  EXPECT_TRUE(v.is_categorical());
+  EXPECT_EQ(v.category(), 7);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 7.0);
+}
+
+TEST(ValueTest, DefaultIsNumericZero) {
+  Value v;
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.numeric(), 0.0);
+}
+
+TEST(ValueTest, EqualityRespectsKind) {
+  EXPECT_EQ(Value::Numeric(2.0), Value::Numeric(2.0));
+  EXPECT_FALSE(Value::Numeric(2.0) == Value::Categorical(2));
+  EXPECT_FALSE(Value::Numeric(2.0) == Value::Numeric(3.0));
+  EXPECT_EQ(Value::Categorical(1), Value::Categorical(1));
+}
+
+// ---------------------------------------------------------------- Schema
+
+Schema MakeTestSchema() {
+  return Schema({
+      Attribute{"id", AttributeType::kNumeric, AttributeRole::kIdentifier, {}},
+      Attribute{"age", AttributeType::kNumeric,
+                AttributeRole::kQuasiIdentifier, {}},
+      Attribute{"diagnosis", AttributeType::kNominal,
+                AttributeRole::kConfidential,
+                {"flu", "cold", "covid"}},
+  });
+}
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  Schema schema = MakeTestSchema();
+  ASSERT_TRUE(schema.IndexOf("age").ok());
+  EXPECT_EQ(schema.IndexOf("age").value(), 1u);
+  EXPECT_EQ(schema.IndexOf("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RoleQueries) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.QuasiIdentifierIndices(), std::vector<size_t>{1});
+  EXPECT_EQ(schema.ConfidentialIndices(), std::vector<size_t>{2});
+  EXPECT_EQ(schema.IndicesWithRole(AttributeRole::kIdentifier),
+            std::vector<size_t>{0});
+  EXPECT_TRUE(schema.IndicesWithRole(AttributeRole::kOther).empty());
+}
+
+TEST(SchemaTest, WithRoleReplacesOneRole) {
+  Schema schema = MakeTestSchema();
+  auto updated = schema.WithRole("id", AttributeRole::kOther);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_TRUE(updated->IndicesWithRole(AttributeRole::kIdentifier).empty());
+  // Original untouched.
+  EXPECT_EQ(schema.IndicesWithRole(AttributeRole::kIdentifier).size(), 1u);
+}
+
+TEST(SchemaTest, WithRoleUnknownNameFails) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.WithRole("ghost", AttributeRole::kOther).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, NamesAreStable) {
+  EXPECT_STREQ(AttributeRoleName(AttributeRole::kQuasiIdentifier),
+               "quasi-identifier");
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kNominal), "nominal");
+}
+
+// --------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AppendValidatesArity) {
+  Dataset data(MakeTestSchema());
+  EXPECT_EQ(data.Append({Value::Numeric(1)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, AppendValidatesKinds) {
+  Dataset data(MakeTestSchema());
+  // diagnosis must be categorical.
+  Status status = data.Append(
+      {Value::Numeric(1), Value::Numeric(30), Value::Numeric(0)});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+Dataset MakeSmallDataset() {
+  Dataset data(MakeTestSchema());
+  EXPECT_TRUE(data.Append({Value::Numeric(1), Value::Numeric(30),
+                           Value::Categorical(0)})
+                  .ok());
+  EXPECT_TRUE(data.Append({Value::Numeric(2), Value::Numeric(40),
+                           Value::Categorical(2)})
+                  .ok());
+  EXPECT_TRUE(data.Append({Value::Numeric(3), Value::Numeric(50),
+                           Value::Categorical(1)})
+                  .ok());
+  return data;
+}
+
+TEST(DatasetTest, CellAccess) {
+  Dataset data = MakeSmallDataset();
+  EXPECT_EQ(data.NumRecords(), 3u);
+  EXPECT_EQ(data.NumAttributes(), 3u);
+  EXPECT_DOUBLE_EQ(data.cell(1, 1).numeric(), 40.0);
+  EXPECT_EQ(data.cell(2, 2).category(), 1);
+}
+
+TEST(DatasetTest, SetCellValidates) {
+  Dataset data = MakeSmallDataset();
+  EXPECT_TRUE(data.SetCell(0, 1, Value::Numeric(33)).ok());
+  EXPECT_DOUBLE_EQ(data.cell(0, 1).numeric(), 33.0);
+  EXPECT_EQ(data.SetCell(0, 2, Value::Numeric(1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(data.SetCell(9, 0, Value::Numeric(1)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(data.SetCell(0, 9, Value::Numeric(1)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ColumnAsDoubleCastsCategories) {
+  Dataset data = MakeSmallDataset();
+  EXPECT_EQ(data.ColumnAsDouble(1), (std::vector<double>{30, 40, 50}));
+  EXPECT_EQ(data.ColumnAsDouble(2), (std::vector<double>{0, 2, 1}));
+}
+
+TEST(DatasetTest, ProjectSelectsColumns) {
+  Dataset data = MakeSmallDataset();
+  auto projected = data.Project({1, 2});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->NumAttributes(), 2u);
+  EXPECT_EQ(projected->schema().at(0).name, "age");
+  EXPECT_DOUBLE_EQ(projected->cell(2, 0).numeric(), 50.0);
+  EXPECT_EQ(data.Project({5}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, SelectPicksRows) {
+  Dataset data = MakeSmallDataset();
+  auto selected = data.Select({2, 0});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->NumRecords(), 2u);
+  EXPECT_DOUBLE_EQ(selected->cell(0, 1).numeric(), 50.0);
+  EXPECT_DOUBLE_EQ(selected->cell(1, 1).numeric(), 30.0);
+  EXPECT_EQ(data.Select({7}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ReplaceSchemaChangesRolesOnly) {
+  Dataset data = MakeSmallDataset();
+  auto schema = data.schema().WithRole("age", AttributeRole::kOther);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(data.ReplaceSchema(std::move(schema).value()).ok());
+  EXPECT_TRUE(data.schema().QuasiIdentifierIndices().empty());
+  EXPECT_EQ(data.ReplaceSchema(Schema()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, EqualityIsDeep) {
+  Dataset a = MakeSmallDataset();
+  Dataset b = MakeSmallDataset();
+  EXPECT_TRUE(a == b);
+  ASSERT_TRUE(b.SetCell(0, 1, Value::Numeric(31)).ok());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DatasetFromColumnsTest, BuildsNumericDataset) {
+  auto data = DatasetFromColumns(
+      {"x", "y"}, {{1, 2, 3}, {4, 5, 6}},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kConfidential});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->NumRecords(), 3u);
+  EXPECT_DOUBLE_EQ(data->cell(1, 1).numeric(), 5.0);
+}
+
+TEST(DatasetFromColumnsTest, RejectsMismatchedShapes) {
+  EXPECT_FALSE(DatasetFromColumns({"x"}, {{1, 2}, {3, 4}},
+                                  {AttributeRole::kOther})
+                   .ok());
+  EXPECT_FALSE(DatasetFromColumns({"x", "y"}, {{1, 2}, {3}},
+                                  {AttributeRole::kOther,
+                                   AttributeRole::kOther})
+                   .ok());
+  EXPECT_FALSE(DatasetFromColumns({}, {}, {}).ok());
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+}
+
+TEST(StatsTest, EmptyInputsReturnZero) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Min(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Max(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Range(empty), 0.0);
+}
+
+TEST(StatsTest, MinMaxRange) {
+  std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+  EXPECT_DOUBLE_EQ(Range(xs), 8.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+}
+
+TEST(StatsTest, PearsonCorrelationKnownCases) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+  std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, constant), 0.0);
+}
+
+TEST(StatsTest, SpearmanIsRankBased) {
+  // A monotone nonlinear map preserves Spearman but not Pearson.
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(xs, ys), 1.0);
+}
+
+TEST(StatsTest, AverageRanksHandleTies) {
+  std::vector<double> xs = {10, 20, 20, 30};
+  EXPECT_EQ(AverageRanks(xs), (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(StatsTest, SortOrderIsStable) {
+  std::vector<double> xs = {2, 1, 2, 0};
+  EXPECT_EQ(SortOrder(xs), (std::vector<size_t>{3, 1, 0, 2}));
+}
+
+TEST(StatsTest, QiConfidentialCorrelationPerfectLinear) {
+  // conf = qi exactly -> R = 1.
+  auto data = DatasetFromColumns(
+      {"q", "c"}, {{1, 2, 3, 4, 5}, {2, 4, 6, 8, 10}},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kConfidential});
+  ASSERT_TRUE(data.ok());
+  EXPECT_NEAR(QiConfidentialCorrelation(*data), 1.0, 1e-9);
+}
+
+TEST(StatsTest, QiConfidentialCorrelationNoQiReturnsZero) {
+  auto data = DatasetFromColumns(
+      {"a", "c"}, {{1, 2, 3}, {3, 2, 1}},
+      {AttributeRole::kOther, AttributeRole::kConfidential});
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(QiConfidentialCorrelation(*data), 0.0);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTripNumericAndCategorical) {
+  Dataset data = MakeSmallDataset();
+  std::string text = WriteCsvString(data);
+  auto parsed = ParseCsvString(text, data.schema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == data);
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  Dataset data = MakeSmallDataset();
+  auto parsed = ParseCsvString("id,wrong,diagnosis\n", data.schema());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, UnknownCategoryFails) {
+  Dataset data = MakeSmallDataset();
+  auto parsed =
+      ParseCsvString("id,age,diagnosis\n1,30,plague\n", data.schema());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, MalformedNumberFails) {
+  Dataset data = MakeSmallDataset();
+  auto parsed =
+      ParseCsvString("id,age,diagnosis\n1,abc,flu\n", data.schema());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, WrongFieldCountFails) {
+  Dataset data = MakeSmallDataset();
+  auto parsed = ParseCsvString("id,age,diagnosis\n1,30\n", data.schema());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  Dataset data = MakeSmallDataset();
+  EXPECT_EQ(ParseCsvString("", data.schema()).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, BlankLinesAreSkipped) {
+  Dataset data = MakeSmallDataset();
+  auto parsed = ParseCsvString("id,age,diagnosis\n1,30,flu\n\n2,40,covid\n",
+                               data.schema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumRecords(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Dataset data = MakeSmallDataset();
+  const std::string path = ::testing::TempDir() + "/tcm_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+  auto loaded = ReadCsv(path, data.schema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == data);
+}
+
+TEST(CsvTest, MissingFileFails) {
+  Dataset data = MakeSmallDataset();
+  EXPECT_EQ(ReadCsv("/nonexistent/x.csv", data.schema()).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, ReadNumericCsvInfersSchema) {
+  const std::string path = ::testing::TempDir() + "/tcm_numeric.csv";
+  auto data = DatasetFromColumns({"a", "b"}, {{1, 2}, {3.5, 4.5}},
+                                 {AttributeRole::kOther,
+                                  AttributeRole::kOther});
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(WriteCsv(*data, path).ok());
+  auto loaded = ReadNumericCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumAttributes(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->cell(1, 1).numeric(), 4.5);
+}
+
+// ------------------------------------------------------------ Generators
+
+TEST(GeneratorTest, CensusLikeShapeAndRoles) {
+  Dataset census = MakeCensusLike();
+  EXPECT_EQ(census.NumRecords(), 1080u);
+  EXPECT_EQ(census.NumAttributes(), 4u);
+  EXPECT_EQ(census.schema().QuasiIdentifierIndices().size(), 2u);
+  EXPECT_TRUE(census.schema().ConfidentialIndices().empty());
+}
+
+TEST(GeneratorTest, McdPromotesFedtax) {
+  Dataset mcd = MakeMcdDataset();
+  auto conf = mcd.schema().ConfidentialIndices();
+  ASSERT_EQ(conf.size(), 1u);
+  EXPECT_EQ(mcd.schema().at(conf[0]).name, "FEDTAX");
+}
+
+TEST(GeneratorTest, HcdPromotesFica) {
+  Dataset hcd = MakeHcdDataset();
+  auto conf = hcd.schema().ConfidentialIndices();
+  ASSERT_EQ(conf.size(), 1u);
+  EXPECT_EQ(hcd.schema().at(conf[0]).name, "FICA");
+}
+
+TEST(GeneratorTest, McdCorrelationNearPaperValue) {
+  // Paper reports 0.52 for the MCD data set.
+  EXPECT_NEAR(QiConfidentialCorrelation(MakeMcdDataset()), 0.52, 0.06);
+}
+
+TEST(GeneratorTest, HcdCorrelationNearPaperValue) {
+  // Paper reports 0.92 for the HCD data set.
+  EXPECT_NEAR(QiConfidentialCorrelation(MakeHcdDataset()), 0.92, 0.04);
+}
+
+TEST(GeneratorTest, PatientDischargeShape) {
+  PatientDischargeOptions options;
+  options.num_records = 2000;
+  Dataset data = MakePatientDischargeLike(options);
+  EXPECT_EQ(data.NumRecords(), 2000u);
+  EXPECT_EQ(data.schema().QuasiIdentifierIndices().size(), 7u);
+  EXPECT_EQ(data.schema().ConfidentialIndices().size(), 1u);
+}
+
+TEST(GeneratorTest, PatientDischargeCorrelationNearPaperValue) {
+  // Paper reports 0.129; discretization adds noise, allow a wide band.
+  PatientDischargeOptions options;
+  options.num_records = 8000;
+  EXPECT_NEAR(QiConfidentialCorrelation(MakePatientDischargeLike(options)),
+              0.129, 0.06);
+}
+
+TEST(GeneratorTest, GeneratorsAreDeterministic) {
+  CensusLikeOptions options;
+  options.seed = 99;
+  EXPECT_TRUE(MakeCensusLike(options) == MakeCensusLike(options));
+  options.seed = 100;
+  EXPECT_FALSE(MakeCensusLike(options) == MakeCensusLike({1080, 99}));
+}
+
+TEST(GeneratorTest, UniformDatasetShape) {
+  Dataset data = MakeUniformDataset(100, 4, 1);
+  EXPECT_EQ(data.NumRecords(), 100u);
+  EXPECT_EQ(data.schema().QuasiIdentifierIndices().size(), 4u);
+  EXPECT_EQ(data.schema().ConfidentialIndices().size(), 1u);
+  for (size_t col = 0; col < data.NumAttributes(); ++col) {
+    for (double v : data.ColumnAsDouble(col)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, ClusteredDatasetHasRequestedShape) {
+  Dataset data = MakeClusteredDataset(300, 2, 5, 3);
+  EXPECT_EQ(data.NumRecords(), 300u);
+  EXPECT_EQ(data.schema().QuasiIdentifierIndices().size(), 2u);
+  EXPECT_EQ(data.schema().ConfidentialIndices().size(), 1u);
+}
+
+TEST(GeneratorTest, ClusteredConfidentialCorrelatesWithQis) {
+  // The mode drives both QIs and the confidential value.
+  Dataset data = MakeClusteredDataset(1000, 2, 4, 3);
+  EXPECT_GT(QiConfidentialCorrelation(data), 0.3);
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,174 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/stats.h"
+#include "dp/dp_release.h"
+#include "dp/laplace.h"
+#include "utility/sse.h"
+
+namespace tcm {
+namespace {
+
+// --------------------------------------------------------------- Laplace
+
+TEST(LaplaceTest, MomentsMatchDistribution) {
+  LaplaceSampler sampler(42);
+  constexpr int kSamples = 200000;
+  constexpr double kScale = 2.5;
+  double sum = 0.0, sum_abs = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    double draw = sampler.Sample(kScale);
+    sum += draw;
+    sum_abs += std::fabs(draw);
+    sum_sq += draw * draw;
+  }
+  // Laplace(0, b): mean 0, E|X| = b, Var = 2 b^2.
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(sum_abs / kSamples, kScale, 0.05);
+  EXPECT_NEAR(sum_sq / kSamples, 2 * kScale * kScale, 0.3);
+}
+
+TEST(LaplaceTest, DeterministicForSeed) {
+  LaplaceSampler a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.Sample(1.0), b.Sample(1.0));
+  }
+}
+
+TEST(LaplaceTest, SensitivityCalibration) {
+  // scale = sensitivity / epsilon: quadrupling epsilon shrinks E|X| 4x.
+  LaplaceSampler a(9), b(9);
+  constexpr int kSamples = 100000;
+  double tight = 0.0, loose = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    loose += std::fabs(a.SampleForSensitivity(1.0, 0.5));
+    tight += std::fabs(b.SampleForSensitivity(1.0, 2.0));
+  }
+  EXPECT_NEAR(loose / tight, 4.0, 0.15);
+}
+
+// ------------------------------------------------------------ DP release
+
+TEST(DpReleaseTest, RejectsBadParameters) {
+  Dataset data = MakeUniformDataset(50, 2, 3);
+  DpReleaseOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(DpMicroaggregationRelease(data, options).ok());
+  options.epsilon = 1.0;
+  options.k = 0;
+  EXPECT_FALSE(DpMicroaggregationRelease(data, options).ok());
+  options.k = 51;
+  EXPECT_FALSE(DpMicroaggregationRelease(data, options).ok());
+}
+
+TEST(DpReleaseTest, DeterministicForSeed) {
+  Dataset data = MakeUniformDataset(100, 2, 5);
+  DpReleaseOptions options;
+  options.seed = 11;
+  auto a = DpMicroaggregationRelease(data, options);
+  auto b = DpMicroaggregationRelease(data, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->released == b->released);
+}
+
+TEST(DpReleaseTest, ConfidentialAttributeUntouched) {
+  Dataset data = MakeUniformDataset(100, 2, 5);
+  auto result = DpMicroaggregationRelease(data);
+  ASSERT_TRUE(result.ok());
+  size_t conf = data.schema().ConfidentialIndices()[0];
+  EXPECT_EQ(result->released.ColumnAsDouble(conf),
+            data.ColumnAsDouble(conf));
+}
+
+TEST(DpReleaseTest, ReleaseIsClusterConstant) {
+  // All records of a cluster share the same noisy centroid: the release
+  // is k-anonymous in structure (n / k clusters).
+  Dataset data = MakeUniformDataset(100, 2, 5);
+  DpReleaseOptions options;
+  options.k = 10;
+  auto result = DpMicroaggregationRelease(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters, 10u);
+  std::vector<size_t> qi = data.schema().QuasiIdentifierIndices();
+  std::map<std::pair<double, double>, int> distinct;
+  for (size_t row = 0; row < 100; ++row) {
+    distinct[{result->released.cell(row, qi[0]).numeric(),
+              result->released.cell(row, qi[1]).numeric()}]++;
+  }
+  EXPECT_EQ(distinct.size(), 10u);
+  for (const auto& [unused, count] : distinct) EXPECT_EQ(count, 10);
+}
+
+TEST(DpReleaseTest, LargerEpsilonMeansLessNoise) {
+  Dataset data = MakeUniformDataset(400, 2, 7);
+  double previous = 1e300;
+  for (double epsilon : {0.1, 1.0, 10.0, 100.0}) {
+    DpReleaseOptions options;
+    options.k = 20;
+    options.epsilon = epsilon;
+    options.seed = 3;
+    auto result = DpMicroaggregationRelease(data, options);
+    ASSERT_TRUE(result.ok());
+    auto sse = NormalizedSse(data, result->released);
+    ASSERT_TRUE(sse.ok());
+    EXPECT_LT(*sse, previous) << "epsilon=" << epsilon;
+    previous = *sse;
+  }
+}
+
+TEST(DpReleaseTest, LargerKReducesNoiseScale) {
+  // The headline of the microaggregation-DP connection: sensitivity
+  // range/k shrinks with k, so total injected scale drops.
+  Dataset data = MakeUniformDataset(400, 2, 9);
+  double previous = 1e300;
+  for (size_t k : {2u, 10u, 50u}) {
+    DpReleaseOptions options;
+    options.k = k;
+    options.epsilon = 1.0;
+    auto result = DpMicroaggregationRelease(data, options);
+    ASSERT_TRUE(result.ok());
+    double mean_scale = result->per_attribute_scale_sum /
+                        static_cast<double>(result->clusters);
+    EXPECT_LT(mean_scale, previous) << "k=" << k;
+    previous = mean_scale;
+  }
+}
+
+TEST(DpReleaseTest, HugeEpsilonApproachesPlainMicroaggregation) {
+  Dataset data = MakeUniformDataset(200, 2, 13);
+  DpReleaseOptions options;
+  options.k = 10;
+  options.epsilon = 1e9;
+  auto result = DpMicroaggregationRelease(data, options);
+  ASSERT_TRUE(result.ok());
+  // Means preserved nearly exactly (noise negligible).
+  std::vector<size_t> qi = data.schema().QuasiIdentifierIndices();
+  for (size_t col : qi) {
+    EXPECT_NEAR(Mean(result->released.ColumnAsDouble(col)),
+                Mean(data.ColumnAsDouble(col)), 1e-6);
+  }
+}
+
+TEST(DpReleaseTest, CategoricalQiUnsupported) {
+  Schema schema({
+      Attribute{"ord", AttributeType::kOrdinal,
+                AttributeRole::kQuasiIdentifier, {"a", "b"}},
+      Attribute{"conf", AttributeType::kNumeric, AttributeRole::kConfidential,
+                {}},
+  });
+  Dataset data(schema);
+  ASSERT_TRUE(
+      data.Append({Value::Categorical(0), Value::Numeric(1)}).ok());
+  ASSERT_TRUE(
+      data.Append({Value::Categorical(1), Value::Numeric(2)}).ok());
+  DpReleaseOptions options;
+  options.k = 1;
+  EXPECT_EQ(DpMicroaggregationRelease(data, options).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,280 @@
+// Tests for the partition refinement stage and the categorical
+// t-closeness verifiers, plus parser robustness fuzzing.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "distance/qi_space.h"
+#include "microagg/mdav.h"
+#include "microagg/refine.h"
+#include "privacy/categorical_tcloseness.h"
+#include "tclose/nominal.h"
+#include "tclose/report_io.h"
+
+namespace tcm {
+namespace {
+
+// ------------------------------------------------------------------ Refine
+
+TEST(RefineTest, NeverIncreasesSse) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Dataset data = MakeClusteredDataset(300, 2, 5, 200 + trial);
+    QiSpace space(data);
+    auto initial = Mdav(space, 4);
+    ASSERT_TRUE(initial.ok());
+    RefineOptions options;
+    options.min_cluster_size = 4;
+    RefineStats stats;
+    auto refined = RefinePartition(space, *initial, options, &stats);
+    ASSERT_TRUE(refined.ok());
+    EXPECT_LE(stats.sse_after, stats.sse_before + 1e-9);
+    EXPECT_TRUE(ValidatePartition(*refined, 300, 4).ok());
+  }
+}
+
+TEST(RefineTest, FixedPointOfOptimalPartitionIsStable) {
+  // A partition of well-separated modes with exactly matching clusters
+  // admits no improving move.
+  std::vector<double> xs, cs;
+  for (int mode = 0; mode < 3; ++mode) {
+    for (int i = 0; i < 6; ++i) {
+      xs.push_back(mode * 1000.0 + i);
+      cs.push_back(i);
+    }
+  }
+  auto data = DatasetFromColumns(
+      {"x", "c"}, {xs, cs},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kConfidential});
+  ASSERT_TRUE(data.ok());
+  QiSpace space(*data);
+  Partition modes;
+  modes.clusters = {{0, 1, 2, 3, 4, 5},
+                    {6, 7, 8, 9, 10, 11},
+                    {12, 13, 14, 15, 16, 17}};
+  RefineOptions options;
+  options.min_cluster_size = 6;
+  RefineStats stats;
+  auto refined = RefinePartition(space, modes, options, &stats);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(stats.moves, 0u);
+  EXPECT_EQ(refined->clusters, modes.clusters);
+}
+
+TEST(RefineTest, RepairsDeliberatelyBadPartition) {
+  // Swap two records between far-apart modes; refinement must undo it.
+  std::vector<double> xs, cs;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i < 10 ? i : 1000.0 + i);
+    cs.push_back(i);
+  }
+  auto data = DatasetFromColumns(
+      {"x", "c"}, {xs, cs},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kConfidential});
+  ASSERT_TRUE(data.ok());
+  QiSpace space(*data);
+  Partition scrambled;
+  scrambled.clusters = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 19},
+                        {9, 10, 11, 12, 13, 14, 15, 16, 17, 18}};
+  RefineOptions options;
+  options.min_cluster_size = 2;
+  RefineStats stats;
+  auto refined = RefinePartition(space, scrambled, options, &stats);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_GT(stats.moves, 0u);
+  // Records 19 and 9 must end up on their own sides.
+  auto assignment = refined->AssignmentVector();
+  EXPECT_EQ(assignment[19], assignment[18]);
+  EXPECT_EQ(assignment[9], assignment[0]);
+}
+
+TEST(RefineTest, SwapsImproveExactKPartitions) {
+  // All clusters exactly size k: no relocation is legal, so only the
+  // swap moves can (and do) lower SSE on a scrambled partition.
+  std::vector<double> xs, cs;
+  for (int i = 0; i < 12; ++i) {
+    xs.push_back(i < 6 ? i : 500.0 + i);
+    cs.push_back(i);
+  }
+  auto data = DatasetFromColumns(
+      {"x", "c"}, {xs, cs},
+      {AttributeRole::kQuasiIdentifier, AttributeRole::kConfidential});
+  ASSERT_TRUE(data.ok());
+  QiSpace space(*data);
+  Partition scrambled;
+  scrambled.clusters = {{0, 1, 2, 3, 4, 11}, {5, 6, 7, 8, 9, 10}};
+  RefineOptions options;
+  options.min_cluster_size = 6;  // exact-k: donors cannot shrink
+  RefineStats stats;
+  auto refined = RefinePartition(space, scrambled, options, &stats);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_LT(stats.sse_after, stats.sse_before);
+  EXPECT_EQ(refined->MinClusterSize(), 6u);
+  EXPECT_EQ(refined->MaxClusterSize(), 6u);
+  // Records 11 and 5 swapped home.
+  auto assignment = refined->AssignmentVector();
+  EXPECT_EQ(assignment[11], assignment[10]);
+  EXPECT_EQ(assignment[5], assignment[0]);
+}
+
+TEST(RefineTest, HonorsMinimumClusterSize) {
+  Dataset data = MakeUniformDataset(60, 2, 109);
+  QiSpace space(data);
+  auto initial = Mdav(space, 3);
+  ASSERT_TRUE(initial.ok());
+  RefineOptions options;
+  options.min_cluster_size = 3;
+  auto refined = RefinePartition(space, *initial, options);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_GE(refined->MinClusterSize(), 3u);
+}
+
+TEST(RefineTest, RejectsPartitionBelowMinimum) {
+  Dataset data = MakeUniformDataset(10, 2, 111);
+  QiSpace space(data);
+  Partition singletons;
+  for (size_t i = 0; i < 10; ++i) singletons.clusters.push_back({i});
+  RefineOptions options;
+  options.min_cluster_size = 2;
+  EXPECT_FALSE(RefinePartition(space, singletons, options).ok());
+}
+
+// ----------------------------------------------- Categorical verification
+
+Dataset OrdinalReleased() {
+  Schema schema({
+      Attribute{"qi", AttributeType::kNumeric,
+                AttributeRole::kQuasiIdentifier, {}},
+      Attribute{"grade", AttributeType::kOrdinal, AttributeRole::kConfidential,
+                {"low", "mid", "high"}},
+  });
+  Dataset data(schema);
+  // Two equivalence classes; class 1 skews low, class 2 skews high.
+  auto add = [&data](double qi, int32_t grade) {
+    EXPECT_TRUE(
+        data.Append({Value::Numeric(qi), Value::Categorical(grade)}).ok());
+  };
+  add(1, 0); add(1, 0); add(1, 1);
+  add(2, 1); add(2, 2); add(2, 2);
+  return data;
+}
+
+TEST(CategoricalVerifyTest, OrdinalReportKnownValues) {
+  auto report = EvaluateOrdinalTCloseness(OrdinalReleased());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_equivalence_classes, 2u);
+  // Global: (2/6, 2/6, 2/6); class 1: (2/3, 1/3, 0).
+  // Cumulative diffs: |1/3| + |1/3| -> /(m-1)=2 -> 1/3. Symmetric class 2.
+  EXPECT_NEAR(report->max_distance, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report->mean_distance, 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(IsOrdinalTClose(OrdinalReleased(), 0.34).value());
+  EXPECT_FALSE(IsOrdinalTClose(OrdinalReleased(), 0.3).value());
+}
+
+TEST(CategoricalVerifyTest, TypeMismatchRejected) {
+  Dataset data = OrdinalReleased();
+  EXPECT_FALSE(EvaluateNominalTCloseness(data).ok());
+  Dataset numeric = MakeUniformDataset(10, 1, 3);
+  EXPECT_FALSE(EvaluateOrdinalTCloseness(numeric).ok());
+}
+
+TEST(CategoricalVerifyTest, NominalVerifierMatchesTvHelper) {
+  // Build a nominal release via the nominal t-closeness-first algorithm
+  // and cross-check the verifier against ClusterTotalVariation.
+  Schema schema({
+      Attribute{"q1", AttributeType::kNumeric,
+                AttributeRole::kQuasiIdentifier, {}},
+      Attribute{"q2", AttributeType::kNumeric,
+                AttributeRole::kQuasiIdentifier, {}},
+      Attribute{"diag", AttributeType::kNominal, AttributeRole::kConfidential,
+                {"a", "b", "c", "d"}},
+  });
+  Dataset data(schema);
+  Rng rng(17);
+  std::vector<int32_t> categories;
+  for (int i = 0; i < 400; ++i) {
+    int32_t code = static_cast<int32_t>(rng.NextBounded(4));
+    categories.push_back(code);
+    ASSERT_TRUE(data.Append({Value::Numeric(rng.NextDouble()),
+                             Value::Numeric(rng.NextDouble()),
+                             Value::Categorical(code)})
+                    .ok());
+  }
+  QiSpace space(data);
+  auto partition =
+      NominalTCloseFirstPartition(space, categories, 3, 0.15);
+  ASSERT_TRUE(partition.ok());
+  // Aggregate to equivalence classes, then verify.
+  double expected_max = 0.0;
+  for (const Cluster& cluster : partition->clusters) {
+    expected_max =
+        std::max(expected_max, ClusterTotalVariation(categories, cluster));
+  }
+  // Build the released dataset: QIs replaced by cluster ids (simplest
+  // equivalence-class marker), nominal column untouched.
+  Dataset released = data;
+  auto assignment = partition->AssignmentVector();
+  for (size_t row = 0; row < released.NumRecords(); ++row) {
+    ASSERT_TRUE(released
+                    .SetCell(row, 0,
+                             Value::Numeric(
+                                 static_cast<double>(assignment[row])))
+                    .ok());
+    ASSERT_TRUE(released.SetCell(row, 1, Value::Numeric(0)).ok());
+  }
+  auto report = EvaluateNominalTCloseness(released);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->max_distance, expected_max, 1e-12);
+  EXPECT_LE(report->max_distance, 0.15 + 1e-9);
+}
+
+// -------------------------------------------------------------- Fuzzing
+
+TEST(FuzzTest, CsvParserNeverCrashesOnGarbage) {
+  Schema schema({
+      Attribute{"a", AttributeType::kNumeric, AttributeRole::kOther, {}},
+      Attribute{"b", AttributeType::kNominal, AttributeRole::kOther,
+                {"x", "y"}},
+  });
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t length = rng.NextBounded(200);
+    std::string text;
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(static_cast<char>(rng.NextBounded(96) + 32));
+      if (rng.NextBounded(10) == 0) text.push_back('\n');
+      if (rng.NextBounded(15) == 0) text.push_back(',');
+    }
+    // Must return (any status), not crash.
+    auto parsed = ParseCsvString(text, schema);
+    (void)parsed;
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, PartitionTsvParserNeverCrashesOnGarbage) {
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t length = rng.NextBounded(120);
+    std::string text;
+    for (size_t i = 0; i < length; ++i) {
+      int pick = static_cast<int>(rng.NextBounded(6));
+      if (pick == 0) text.push_back('\t');
+      else if (pick == 1) text.push_back('\n');
+      else if (pick == 2) text.push_back('-');
+      else text.push_back(static_cast<char>('0' + rng.NextBounded(10)));
+    }
+    auto parsed = PartitionFromTsv(text, 4);
+    (void)parsed;
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,146 @@
+// tcm_profile: inspect a numeric CSV before anonymizing it.
+//
+//   tcm_profile --input data.csv [--qi A,B] [--confidential C]
+//               [--histogram COLUMN] [--bins N]
+//
+// Prints per-attribute summary statistics and, when roles are given, the
+// QI <-> confidential multiple correlation (the quantity the paper uses
+// to characterize its MCD/HCD/Patient-Discharge data sets) plus the
+// Proposition 2 feasibility table: for each t level, the minimum cluster
+// size Algorithm 3 would use.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "data/csv.h"
+#include "data/summary.h"
+#include "distance/emd_bounds.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: tcm_profile --input FILE [--qi A,B,...]\n"
+               "                   [--confidential C] [--histogram COL]\n"
+               "                   [--bins N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, histogram_col, confidential;
+  std::vector<std::string> qi;
+  size_t bins = 10;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--input") {
+      const char* v = next();
+      if (!v) break;
+      input = v;
+    } else if (flag == "--qi") {
+      const char* v = next();
+      if (!v) break;
+      qi = tcm::SplitString(v, ',');
+    } else if (flag == "--confidential") {
+      const char* v = next();
+      if (!v) break;
+      confidential = v;
+    } else if (flag == "--histogram") {
+      const char* v = next();
+      if (!v) break;
+      histogram_col = v;
+    } else if (flag == "--bins") {
+      const char* v = next();
+      if (!v) break;
+      bins = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto loaded = tcm::ReadNumericCsv(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", input.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  tcm::Schema schema = loaded->schema();
+  for (const std::string& name : qi) {
+    auto updated =
+        schema.WithRole(name, tcm::AttributeRole::kQuasiIdentifier);
+    if (!updated.ok()) {
+      std::fprintf(stderr, "--qi: %s\n", updated.status().ToString().c_str());
+      return 1;
+    }
+    schema = std::move(updated).value();
+  }
+  if (!confidential.empty()) {
+    auto updated =
+        schema.WithRole(confidential, tcm::AttributeRole::kConfidential);
+    if (!updated.ok()) {
+      std::fprintf(stderr, "--confidential: %s\n",
+                   updated.status().ToString().c_str());
+      return 1;
+    }
+    schema = std::move(updated).value();
+  }
+  if (auto status = loaded->ReplaceSchema(schema); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto summary = tcm::SummarizeDataset(*loaded);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", tcm::FormatSummary(*summary).c_str());
+
+  if (!qi.empty() && !confidential.empty()) {
+    std::printf("\nAlgorithm 3 cluster size needed (Eq. 3 + Eq. 4), n=%zu:\n",
+                loaded->NumRecords());
+    std::printf("%-8s %s\n", "t", "cluster size");
+    for (double t : {0.01, 0.05, 0.1, 0.15, 0.2, 0.25}) {
+      size_t k_star = tcm::AdjustClusterSizeForRemainder(
+          loaded->NumRecords(),
+          tcm::RequiredClusterSize(loaded->NumRecords(), 1, t));
+      std::printf("%-8.2f %zu\n", t, k_star);
+    }
+  }
+
+  if (!histogram_col.empty()) {
+    auto index = loaded->schema().IndexOf(histogram_col);
+    if (!index.ok()) {
+      std::fprintf(stderr, "--histogram: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    auto histogram = tcm::ColumnHistogram(*loaded, *index, bins);
+    if (!histogram.ok()) {
+      std::fprintf(stderr, "%s\n", histogram.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nhistogram of %s (%zu bins):\n", histogram_col.c_str(),
+                bins);
+    size_t peak = 1;
+    for (size_t count : *histogram) peak = std::max(peak, count);
+    for (size_t b = 0; b < histogram->size(); ++b) {
+      size_t width = (*histogram)[b] * 50 / peak;
+      std::printf("%3zu | %-50s %zu\n", b,
+                  std::string(width, '#').c_str(), (*histogram)[b]);
+    }
+  }
+  return 0;
+}
