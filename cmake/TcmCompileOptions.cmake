@@ -1,0 +1,49 @@
+# Shared compile/link settings for every target in the repo.
+#
+# The codebase requires C++20 (std::erase_if and friends are used
+# throughout src/microagg and src/tclose); under C++17 those are hard
+# compile errors, so the standard is mandated here rather than left to
+# the toolchain default.
+#
+# TCM_SANITIZE accepts a comma- or semicolon-separated sanitizer list
+# (e.g. -DTCM_SANITIZE=address,undefined) applied to both compile and
+# link lines of every target that calls tcm_apply_compile_options().
+
+function(tcm_apply_compile_options target)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+  set_target_properties(${target} PROPERTIES
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    CXX_EXTENSIONS OFF)
+
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+       AND CMAKE_CXX_COMPILER_VERSION VERSION_GREATER_EQUAL 12
+       AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
+      # GCC 12 emits spurious -Wrestrict errors from libstdc++'s inlined
+      # std::string operator+ at -O3 (GCC PR105651).
+      target_compile_options(${target} PRIVATE -Wno-restrict)
+    endif()
+    if(TCM_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(TCM_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+
+  if(TCM_SANITIZE AND CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    string(REPLACE "," ";" _tcm_san_list "${TCM_SANITIZE}")
+    string(REPLACE ";" "," _tcm_san_flag "${_tcm_san_list}")
+    target_compile_options(${target} PRIVATE
+      -fsanitize=${_tcm_san_flag} -fno-omit-frame-pointer)
+    target_link_options(${target} PRIVATE -fsanitize=${_tcm_san_flag})
+  elseif(TCM_SANITIZE)
+    message(WARNING
+      "TCM_SANITIZE is only wired up for GCC/Clang; ignoring it for "
+      "${CMAKE_CXX_COMPILER_ID}")
+  endif()
+endfunction()

@@ -274,7 +274,9 @@ TEST(TimerTest, RestartResetsClock) {
   WallTimer timer;
   // Burn a little time.
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   double before = timer.ElapsedSeconds();
   timer.Restart();
   EXPECT_LE(timer.ElapsedSeconds(), before);

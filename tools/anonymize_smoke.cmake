@@ -1,0 +1,58 @@
+# ctest smoke script: build a small deterministic CSV, run tcm_anonymize
+# end-to-end on it, and check that the run exits 0 (the tool only does so
+# after re-verifying k-anonymity and t-closeness of the release) and that
+# the --report output actually reports the cluster/EMD stats.
+#
+# Invoked as:
+#   cmake -DTCM_ANONYMIZE=<binary> -DWORK_DIR=<dir> -P anonymize_smoke.cmake
+
+if(NOT TCM_ANONYMIZE OR NOT WORK_DIR)
+  message(FATAL_ERROR "TCM_ANONYMIZE and WORK_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(input "${WORK_DIR}/input.csv")
+set(output "${WORK_DIR}/release.csv")
+file(REMOVE "${output}")
+
+set(csv "age,zipcode,salary\n")
+foreach(i RANGE 0 59)
+  math(EXPR age "20 + (7 * ${i}) % 50")
+  math(EXPR zip "46000 + (13 * ${i}) % 90")
+  math(EXPR salary "20000 + 1000 * ((11 * ${i}) % 40)")
+  string(APPEND csv "${age},${zip},${salary}\n")
+endforeach()
+file(WRITE "${input}" "${csv}")
+
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}"
+    --input "${input}" --output "${output}"
+    --qi age,zipcode --confidential salary
+    --k 3 --t 0.35 --report
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE errors)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "tcm_anonymize exited with ${rc}\nstdout:\n${report}\nstderr:\n${errors}")
+endif()
+
+if(NOT report MATCHES "max cluster EMD")
+  message(FATAL_ERROR "t-closeness (cluster EMD) missing from report:\n${report}")
+endif()
+if(NOT report MATCHES "cluster size +: min=")
+  message(FATAL_ERROR "k-anonymity (cluster size) missing from report:\n${report}")
+endif()
+
+if(NOT EXISTS "${output}")
+  message(FATAL_ERROR "release file ${output} was not written")
+endif()
+file(STRINGS "${output}" release_lines)
+list(LENGTH release_lines release_line_count)
+if(release_line_count LESS 61)
+  message(FATAL_ERROR
+    "release has ${release_line_count} lines, expected header + 60 records")
+endif()
+
+message(STATUS "anonymize smoke OK: ${release_line_count} lines released")

@@ -1,7 +1,7 @@
 // tcm_anonymize: command-line anonymizer over CSV files.
 //
-//   tcm_anonymize --input data.csv --output release.csv \
-//       --qi age,zipcode --confidential salary \
+//   tcm_anonymize --input data.csv --output release.csv
+//       --qi age,zipcode --confidential salary
 //       --k 5 --t 0.1 [--algorithm merge|kanon|tclose] [--report]
 //
 // The input must be a numeric CSV with a header row. Columns named in
