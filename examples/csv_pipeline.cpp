@@ -1,23 +1,24 @@
-// End-to-end CSV pipeline: the workflow of a data custodian.
+// End-to-end CSV pipeline on the parallel engine: the workflow of a data
+// custodian with a parameter sweep.
 //  1. Export an original microdata set to CSV.
-//  2. Re-load it declaring attribute roles (identifier / QI / confidential).
-//  3. Anonymize with each of the paper's algorithms; keep the best release.
-//  4. Compare against the generalization (global recoding) and Mondrian
-//     baselines, then write the chosen release back to CSV.
+//  2. Fan a batch of jobs — every algorithm in the registry — across a
+//     thread pool and compare their releases.
+//  3. Re-run the winner through the declarative PipelineRunner
+//     (load -> shard -> anonymize -> verify -> metrics -> write), which
+//     re-loads the CSV, assigns roles by column name, verifies the
+//     release and writes it back out.
 //
-//   ./build/examples/csv_pipeline [output_dir]
+//   ./build/examples/example_csv_pipeline [output_dir]
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "baseline/mondrian.h"
-#include "baseline/recoding.h"
 #include "data/csv.h"
 #include "data/generator.h"
-#include "microagg/aggregate.h"
-#include "privacy/tcloseness.h"
-#include "tclose/anonymizer.h"
-#include "utility/sse.h"
+#include "engine/batch.h"
+#include "engine/pipeline.h"
+#include "engine/registry.h"
 
 int main(int argc, char** argv) {
   std::string dir = argc > 1 ? argv[1] : "/tmp";
@@ -30,79 +31,76 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
     return 1;
   }
-
-  // 2. Load it back with explicit roles, as a custodian would for a file
-  //    received from a third party.
-  auto loaded = tcm::ReadCsv(original_path, data.schema());
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "read failed: %s\n",
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded %zu records x %zu attributes from %s\n",
-              loaded->NumRecords(), loaded->NumAttributes(),
+  std::printf("exported %zu records x %zu attributes to %s\n",
+              data.NumRecords(), data.NumAttributes(),
               original_path.c_str());
 
-  // 3. Try all three algorithms, keep the lowest-SSE release.
+  // 2. One batch job per registered algorithm (paper algorithms AND
+  //    baselines — the registry makes them interchangeable), fanned
+  //    across a 4-worker pool.
   constexpr size_t kK = 4;
   constexpr double kT = 0.12;
-  tcm::AnonymizerOptions options;
-  options.k = kK;
-  options.t = kT;
+  tcm::ThreadPool pool(4);
+  std::vector<tcm::BatchJob> jobs;
+  for (const std::string& name :
+       tcm::AlgorithmRegistry::BuiltIns().Names()) {
+    if (name == "kanon" || name == "tclose") continue;  // CLI aliases
+    tcm::BatchJob job;
+    job.label = name;
+    job.data = &data;
+    job.algorithm = name;
+    job.params.k = kK;
+    job.params.t = kT;
+    jobs.push_back(std::move(job));
+  }
+  std::vector<tcm::BatchOutcome> outcomes = tcm::RunBatch(jobs, &pool);
+
+  std::string best_algorithm;
   double best_sse = 2.0;
-  tcm::Dataset best_release;
-  for (tcm::TCloseAlgorithm algorithm :
-       {tcm::TCloseAlgorithm::kMicroaggregationMerge,
-        tcm::TCloseAlgorithm::kKAnonymityFirst,
-        tcm::TCloseAlgorithm::kTClosenessFirst}) {
-    options.algorithm = algorithm;
-    auto result = tcm::Anonymize(*loaded, options);
-    if (!result.ok()) continue;
-    std::printf("  %-24s SSE=%.4f maxEMD=%.4f\n",
-                tcm::TCloseAlgorithmName(algorithm), result->normalized_sse,
-                result->max_cluster_emd);
-    if (result->normalized_sse < best_sse) {
-      best_sse = result->normalized_sse;
-      best_release = std::move(result->anonymized);
+  for (const tcm::BatchOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) {
+      std::printf("  %-18s failed: %s\n", outcome.label.c_str(),
+                  outcome.status.message().c_str());
+      continue;
+    }
+    std::printf("  %-18s SSE=%.4f maxEMD=%.4f clusters=%zu (%.3fs)\n",
+                outcome.label.c_str(), outcome.normalized_sse,
+                outcome.max_cluster_emd, outcome.clusters,
+                outcome.elapsed_seconds);
+    if (outcome.normalized_sse < best_sse) {
+      best_sse = outcome.normalized_sse;
+      best_algorithm = outcome.label;
     }
   }
-
-  // 4. Baselines for comparison.
-  tcm::RecodingOptions recoding_options;
-  recoding_options.t = kT;
-  auto recoded = tcm::GlobalRecodingAnonymize(*loaded, kK, recoding_options);
-  if (recoded.ok()) {
-    auto sse = tcm::NormalizedSse(*loaded, recoded->anonymized);
-    std::printf("  %-24s SSE=%.4f (bins:", "global recoding",
-                sse.ok() ? *sse : -1.0);
-    for (size_t bins : recoded->bins_per_attribute) {
-      std::printf(" %zu", bins);
-    }
-    std::printf(")\n");
-  }
-  tcm::QiSpace space(*loaded);
-  tcm::EmdCalculator emd(*loaded);
-  auto mondrian = tcm::MondrianTClosePartition(space, emd, kK, kT);
-  if (mondrian.ok()) {
-    auto aggregated = tcm::AggregatePartition(*loaded, *mondrian);
-    if (aggregated.ok()) {
-      auto sse = tcm::NormalizedSse(*loaded, *aggregated);
-      std::printf("  %-24s SSE=%.4f\n", "Mondrian (t-close)",
-                  sse.ok() ? *sse : -1.0);
-    }
-  }
-
-  // Publish the winner.
-  auto verified = tcm::IsTClose(best_release, kT);
-  if (!verified.ok() || !*verified) {
-    std::fprintf(stderr, "release failed verification!\n");
+  if (best_algorithm.empty()) {
+    std::fprintf(stderr, "every algorithm failed\n");
     return 1;
   }
-  if (auto status = tcm::WriteCsv(best_release, release_path); !status.ok()) {
-    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+  std::printf("winner: %s\n", best_algorithm.c_str());
+
+  // 3. Publish the winner through the full pipeline. Roles are assigned
+  //    by column name from the CSV header, the release is re-verified
+  //    (k-anonymity + t-closeness) before the write stage runs.
+  tcm::PipelineSpec spec;
+  spec.input_path = original_path;
+  spec.output_path = release_path;
+  spec.quasi_identifiers = {"TAXINC", "POTHVAL"};
+  spec.confidential = "FEDTAX";
+  spec.algorithm = best_algorithm;
+  spec.k = kK;
+  spec.t = kT;
+  spec.shard_size = 0;  // 1080 records: no need to shard
+  tcm::PipelineRunner runner(/*threads=*/2);
+  auto report = runner.Run(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 report.status().ToString().c_str());
     return 1;
   }
-  std::printf("released %s (normalized SSE %.4f, verified %.2f-close)\n",
-              release_path.c_str(), best_sse, kT);
+  std::printf(
+      "released %s (normalized SSE %.4f, verified %.2f-close, "
+      "%zu shard(s) on %zu thread(s))\n",
+      release_path.c_str(), report->result.normalized_sse, kT,
+      report->num_shards, report->threads);
   return 0;
 }

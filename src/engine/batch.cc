@@ -1,0 +1,54 @@
+#include "engine/batch.h"
+
+#include <future>
+#include <utility>
+
+namespace tcm {
+
+namespace {
+
+BatchOutcome RunOneJob(const BatchJob& job) {
+  BatchOutcome outcome;
+  outcome.label = job.label;
+  if (job.data == nullptr) {
+    outcome.status = Status::InvalidArgument("job '" + job.label +
+                                             "' has no dataset");
+    return outcome;
+  }
+  auto result = RunAlgorithm(*job.data, job.algorithm, job.params);
+  if (!result.ok()) {
+    outcome.status = result.status();
+    return outcome;
+  }
+  outcome.clusters = result->partition.NumClusters();
+  outcome.min_cluster_size = result->min_cluster_size;
+  outcome.max_cluster_size = result->max_cluster_size;
+  outcome.max_cluster_emd = result->max_cluster_emd;
+  outcome.normalized_sse = result->normalized_sse;
+  outcome.elapsed_seconds = result->elapsed_seconds;
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<BatchOutcome> RunBatch(const std::vector<BatchJob>& jobs,
+                                   ThreadPool* pool) {
+  std::vector<BatchOutcome> outcomes(jobs.size());
+  if (pool == nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = RunOneJob(jobs[i]);
+    }
+    return outcomes;
+  }
+  std::vector<std::future<BatchOutcome>> futures;
+  futures.reserve(jobs.size());
+  for (const BatchJob& job : jobs) {
+    futures.push_back(pool->Submit([&job]() { return RunOneJob(job); }));
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    outcomes[i] = futures[i].get();
+  }
+  return outcomes;
+}
+
+}  // namespace tcm

@@ -1,0 +1,46 @@
+#ifndef TCM_ENGINE_BATCH_H_
+#define TCM_ENGINE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "engine/registry.h"
+#include "engine/thread_pool.h"
+
+namespace tcm {
+
+// One cell of a parameter sweep: dataset x algorithm x k x t. `data` is
+// non-owning; the caller keeps the datasets alive across RunBatch (jobs
+// typically share a handful of datasets, so the batch holds pointers
+// rather than copies).
+struct BatchJob {
+  std::string label;           // e.g. "mcd/merge/k=5/t=0.10"
+  const Dataset* data = nullptr;
+  std::string algorithm = "tclose_first";
+  AlgorithmParams params;
+};
+
+// Outcome of one job: its status plus the summary measurements (the
+// released dataset itself is dropped to keep sweep memory bounded).
+struct BatchOutcome {
+  std::string label;
+  Status status;
+  size_t clusters = 0;
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+  double max_cluster_emd = 0.0;
+  double normalized_sse = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+// Fans the jobs across `pool` (serially when pool is null) and returns
+// one outcome per job, in job order regardless of completion order. A
+// failed job records its error without affecting the others.
+std::vector<BatchOutcome> RunBatch(const std::vector<BatchJob>& jobs,
+                                   ThreadPool* pool);
+
+}  // namespace tcm
+
+#endif  // TCM_ENGINE_BATCH_H_

@@ -1,0 +1,94 @@
+#ifndef TCM_ENGINE_PIPELINE_H_
+#define TCM_ENGINE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "engine/sharded.h"
+#include "engine/thread_pool.h"
+
+namespace tcm {
+
+// Declarative description of one anonymization run, executed stage by
+// stage by PipelineRunner:
+//   load -> shard -> anonymize -> verify -> metrics -> write
+// Stages degrade gracefully: an empty input_path skips the load stage
+// (the caller passes a Dataset), shard_size 0 skips sharding, verify can
+// be disabled, and an empty output_path skips the write stage.
+struct PipelineSpec {
+  // Load stage: CSV with a header row; every column numeric. The named
+  // columns get their roles assigned (and are validated against the
+  // header with a clear error). When the spec is run against an
+  // in-memory Dataset, empty name lists mean "roles are already set".
+  std::string input_path;
+  std::vector<std::string> quasi_identifiers;
+  std::string confidential;
+
+  // Anonymize stage.
+  std::string algorithm = "tclose_first";  // registry name
+  size_t k = 5;
+  double t = 0.1;
+  uint64_t seed = 1;
+
+  // Shard stage: target rows per shard; 0 disables sharding.
+  size_t shard_size = 4096;
+
+  // Verify stage: re-check k-anonymity and t-closeness of the release
+  // with the independent privacy evaluators; a failure is an error.
+  bool verify = true;
+
+  // Write stage: release CSV path; empty skips the write.
+  std::string output_path;
+};
+
+// Everything a caller needs to audit the run: the release + measurements,
+// the execution shape, and per-stage wall-clock times.
+struct PipelineReport {
+  AnonymizationResult result;
+  size_t num_shards = 1;
+  size_t threads = 1;
+  size_t final_merges = 0;
+  bool k_verified = false;  // stay false when spec.verify is off
+  bool t_verified = false;
+  double load_seconds = 0.0;
+  double anonymize_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double write_seconds = 0.0;
+};
+
+// Executes PipelineSpecs on an owned thread pool. The release is
+// byte-identical for any thread count (see sharded.h for why); threads
+// only change how fast the shard fan-out runs.
+class PipelineRunner {
+ public:
+  // 0 threads means one per hardware thread.
+  explicit PipelineRunner(size_t threads = 1) : pool_(threads) {}
+
+  size_t threads() const { return pool_.num_threads(); }
+  ThreadPool* pool() { return &pool_; }
+
+  // Full pipeline: loads spec.input_path, assigns/validates the roles
+  // named in the spec, then runs the remaining stages.
+  Result<PipelineReport> Run(const PipelineSpec& spec);
+
+  // Same, starting from an in-memory dataset (the load stage is limited
+  // to role assignment; empty role lists keep the dataset's own roles).
+  Result<PipelineReport> Run(const Dataset& data, const PipelineSpec& spec);
+
+ private:
+  ThreadPool pool_;
+};
+
+// Assigns kQuasiIdentifier / kConfidential roles to the named columns of
+// `data`, validating every name against the schema: unknown names fail
+// with a message listing the available columns. Exposed for the CLI tool.
+Status AssignRoles(Dataset* data,
+                   const std::vector<std::string>& quasi_identifiers,
+                   const std::string& confidential);
+
+}  // namespace tcm
+
+#endif  // TCM_ENGINE_PIPELINE_H_

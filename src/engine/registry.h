@@ -1,0 +1,109 @@
+#ifndef TCM_ENGINE_REGISTRY_H_
+#define TCM_ENGINE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "distance/emd.h"
+#include "distance/qi_space.h"
+#include "microagg/partition.h"
+#include "tclose/anonymizer.h"
+
+namespace tcm {
+
+// Parameters handed to every registered algorithm. `seed` is forwarded so
+// stochastic algorithms stay reproducible (the engine derives one seed per
+// shard from it); the current built-ins are fully deterministic and ignore
+// it.
+struct AlgorithmParams {
+  size_t k = 2;
+  double t = 0.25;
+  uint64_t seed = 1;
+  QiNormalization normalization = QiNormalization::kRange;
+};
+
+// A registered algorithm: partitions `data` (whose schema declares the
+// quasi-identifier and confidential roles) into clusters of >= k records.
+// Every algorithm in this library reduces to a Partition; aggregation and
+// measurement are shared downstream (see RunAlgorithm).
+using PartitionFn =
+    std::function<Result<Partition>(const Dataset& data,
+                                    const AlgorithmParams& params)>;
+
+// Name -> factory map over the anonymization algorithms, replacing the
+// hard-coded enum dispatch the tools used to carry. Thread-safe: the
+// engine consults it from pool workers.
+class AlgorithmRegistry {
+ public:
+  AlgorithmRegistry() = default;
+
+  // InvalidArgument on an empty name, FailedPrecondition when the name is
+  // already taken.
+  Status Register(const std::string& name, const std::string& description,
+                  PartitionFn fn);
+
+  // NotFound lists the registered names so CLI users see their options.
+  Result<PartitionFn> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  // Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+  // One-line description of a registered algorithm ("" when unknown).
+  std::string Description(const std::string& name) const;
+
+  // The process-wide registry, pre-populated with the built-in algorithms:
+  //   merge, merge_vmdav, merge_projection, merge_chunked,
+  //   kanon_first (alias: kanon), tclose_first (alias: tclose),
+  //   mondrian, sabre
+  static AlgorithmRegistry& BuiltIns();
+
+ private:
+  struct Entry {
+    std::string description;
+    PartitionFn fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Registers the built-in algorithms into `registry`. Idempotent on
+// BuiltIns() (which calls this once); on a fresh registry it registers
+// each name exactly once.
+void RegisterBuiltinAlgorithms(AlgorithmRegistry* registry);
+
+// Shared input validation of the registry-driven drivers: records >= 2,
+// QI and confidential roles present, k in [1, n], t >= 0.
+Status ValidateAlgorithmInputs(const Dataset& data,
+                               const AlgorithmParams& params);
+
+// Aggregates `partition` over `data` and fills in the shared measurements
+// (cluster sizes, max cluster EMD against the data set's confidential
+// distribution, normalized SSE). `elapsed_seconds` is recorded verbatim.
+// `emd` lets callers that already built the rank structure reuse it; when
+// null it is built here.
+Result<AnonymizationResult> MeasurePartition(const Dataset& data,
+                                             Partition partition,
+                                             double elapsed_seconds,
+                                             const EmdCalculator* emd =
+                                                 nullptr);
+
+// Looks `name` up in BuiltIns() (or `registry` when given), validates the
+// dataset like Anonymize() does, runs the algorithm and measures the
+// release. The registry-driven counterpart of the enum-based Anonymize().
+Result<AnonymizationResult> RunAlgorithm(
+    const Dataset& data, const std::string& name,
+    const AlgorithmParams& params,
+    const AlgorithmRegistry* registry = nullptr);
+
+}  // namespace tcm
+
+#endif  // TCM_ENGINE_REGISTRY_H_

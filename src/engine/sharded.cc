@@ -1,0 +1,165 @@
+#include "engine/sharded.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "common/timer.h"
+#include "distance/emd.h"
+#include "distance/qi_space.h"
+#include "tclose/merge.h"
+
+namespace tcm {
+
+ShardPlan MakeShardPlan(size_t num_records, size_t shard_size, size_t k) {
+  ShardPlan plan;
+  size_t num_shards = 1;
+  if (shard_size > 0 && shard_size < num_records) {
+    num_shards = num_records / shard_size;  // >= 1
+    // Keep every shard workable: at least max(3k, 2) rows each.
+    size_t min_rows = std::max<size_t>(3 * k, 2);
+    if (min_rows > 0) {
+      num_shards = std::min(num_shards, std::max<size_t>(
+                                            1, num_records / min_rows));
+    }
+  }
+  plan.shards.assign(num_shards, {});
+  for (size_t s = 0; s < num_shards; ++s) {
+    plan.shards[s].reserve(num_records / num_shards + 1);
+  }
+  for (size_t row = 0; row < num_records; ++row) {
+    plan.shards[row % num_shards].push_back(row);
+  }
+  return plan;
+}
+
+namespace {
+
+// Per-shard unit of work: everything it reads is owned by the shard, so
+// tasks share nothing mutable and scheduling cannot affect results.
+struct ShardOutcome {
+  Status status;
+  Partition partition;  // row ids local to the shard dataset
+  double seconds = 0.0;
+};
+
+ShardOutcome RunShard(const Dataset& shard_data, const std::string& algorithm,
+                      const AlgorithmParams& params) {
+  ShardOutcome outcome;
+  WallTimer timer;
+  auto fn = AlgorithmRegistry::BuiltIns().Find(algorithm);
+  if (!fn.ok()) {
+    outcome.status = fn.status();
+    return outcome;
+  }
+  auto partition = (*fn)(shard_data, params);
+  outcome.seconds = timer.ElapsedSeconds();
+  if (!partition.ok()) {
+    outcome.status = partition.status();
+    return outcome;
+  }
+  outcome.partition = std::move(partition).value();
+  return outcome;
+}
+
+}  // namespace
+
+Result<AnonymizationResult> ShardedAnonymize(
+    const Dataset& data, const ShardedAnonymizeOptions& options,
+    ThreadPool* pool, ShardedAnonymizeStats* stats) {
+  const AlgorithmParams& params = options.params;
+  if (!AlgorithmRegistry::BuiltIns().Contains(options.algorithm)) {
+    // Surface the name-with-suggestions error before any work.
+    return AlgorithmRegistry::BuiltIns().Find(options.algorithm).status();
+  }
+  TCM_RETURN_IF_ERROR(ValidateAlgorithmInputs(data, params));
+
+  WallTimer timer;
+  ShardPlan plan = MakeShardPlan(data.NumRecords(), options.shard_size,
+                                 params.k);
+  if (stats != nullptr) *stats = ShardedAnonymizeStats{};
+  if (stats != nullptr) stats->num_shards = plan.NumShards();
+
+  if (plan.NumShards() == 1) {
+    return RunAlgorithm(data, options.algorithm, params);
+  }
+
+  // Materialize the shard datasets up front (serial, cheap row copies);
+  // worker tasks then touch only their own shard.
+  std::vector<Dataset> shard_data;
+  shard_data.reserve(plan.NumShards());
+  for (const std::vector<size_t>& rows : plan.shards) {
+    TCM_ASSIGN_OR_RETURN(Dataset shard, data.Select(rows));
+    shard_data.push_back(std::move(shard));
+  }
+
+  // Fan the shards across the pool; collect in shard order so the merged
+  // partition never depends on completion order.
+  std::vector<ShardOutcome> outcomes(plan.NumShards());
+  std::vector<std::future<ShardOutcome>> futures;
+  for (size_t s = 0; s < plan.NumShards(); ++s) {
+    AlgorithmParams shard_params = params;
+    shard_params.seed = params.seed + 0x9E3779B97F4A7C15ULL * (s + 1);
+    const Dataset& shard = shard_data[s];
+    auto task = [&shard, algorithm = options.algorithm, shard_params]() {
+      return RunShard(shard, algorithm, shard_params);
+    };
+    if (pool != nullptr) {
+      futures.push_back(pool->Submit(std::move(task)));
+    } else {
+      outcomes[s] = task();
+    }
+  }
+  for (size_t s = 0; s < futures.size(); ++s) {
+    outcomes[s] = futures[s].get();
+  }
+
+  Partition merged;
+  for (size_t s = 0; s < plan.NumShards(); ++s) {
+    ShardOutcome& outcome = outcomes[s];
+    if (!outcome.status.ok()) {
+      return Status(outcome.status.code(),
+                    "shard " + std::to_string(s) + ": " +
+                        outcome.status.message());
+    }
+    if (stats != nullptr) {
+      stats->max_shard_seconds =
+          std::max(stats->max_shard_seconds, outcome.seconds);
+    }
+    // Translate shard-local row ids back to global ones.
+    const std::vector<size_t>& rows = plan.shards[s];
+    for (Cluster& cluster : outcome.partition.clusters) {
+      for (size_t& row : cluster) row = rows[row];
+      merged.clusters.push_back(std::move(cluster));
+    }
+  }
+  TCM_RETURN_IF_ERROR(
+      ValidatePartition(merged, data.NumRecords(), params.k));
+
+  // Per-shard runs steer by their shard's confidential distribution; the
+  // round-robin plan keeps those close to the global one, and this pass
+  // deterministically repairs whatever residual violations remain.
+  size_t final_merges = 0;
+  std::optional<EmdCalculator> global_emd;
+  if (options.final_merge) {
+    QiSpace space(data, params.normalization);
+    global_emd.emplace(data, 0);
+    MergeStats merge_stats;
+    TCM_ASSIGN_OR_RETURN(merged,
+                         MergeUntilTClose(space, *global_emd, params.t,
+                                          std::move(merged), &merge_stats));
+    final_merges = merge_stats.merges;
+    if (stats != nullptr) stats->final_merges = final_merges;
+  }
+
+  TCM_ASSIGN_OR_RETURN(
+      AnonymizationResult result,
+      MeasurePartition(data, std::move(merged), timer.ElapsedSeconds(),
+                       global_emd ? &*global_emd : nullptr));
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.merges = final_merges;
+  return result;
+}
+
+}  // namespace tcm

@@ -1,0 +1,70 @@
+#ifndef TCM_ENGINE_SHARDED_H_
+#define TCM_ENGINE_SHARDED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "engine/registry.h"
+#include "engine/thread_pool.h"
+#include "tclose/anonymizer.h"
+
+namespace tcm {
+
+// A deterministic assignment of the rows 0..n-1 to shards. Row i goes to
+// shard i % num_shards (round-robin), so every shard is a systematic
+// sample of the data set and its confidential distribution tracks the
+// global one — which keeps per-shard t-closeness meaningful globally.
+// The plan is a pure function of (n, shard_size, k): thread count never
+// changes which rows share a shard.
+struct ShardPlan {
+  std::vector<std::vector<size_t>> shards;  // global row ids, ascending
+
+  size_t NumShards() const { return shards.size(); }
+};
+
+// Builds the plan. `shard_size` is the target rows per shard; 0 (or a
+// value >= n) yields a single shard. The shard count is clamped so every
+// shard keeps at least max(3k, 2) rows, the floor the clustering
+// heuristics need to work with.
+ShardPlan MakeShardPlan(size_t num_records, size_t shard_size, size_t k);
+
+struct ShardedAnonymizeOptions {
+  std::string algorithm = "tclose_first";  // registry name
+  AlgorithmParams params;
+  // Target records per shard; 0 disables sharding (one shard).
+  size_t shard_size = 4096;
+  // After concatenating the per-shard partitions, merge clusters whose
+  // EMD against the GLOBAL confidential distribution exceeds t (per-shard
+  // runs only see their shard's distribution, so a small residual can
+  // remain). The pass is sequential and deterministic; it only ever grows
+  // clusters, so k-anonymity is preserved.
+  bool final_merge = true;
+};
+
+struct ShardedAnonymizeStats {
+  size_t num_shards = 1;
+  size_t final_merges = 0;        // cluster mergers in the global pass
+  double max_shard_seconds = 0.0; // slowest shard (parallel critical path)
+};
+
+// Anonymizes `data` shard-by-shard on `pool` (serially when pool is null
+// or has one thread — the result is identical either way):
+//   1. shard rows via MakeShardPlan,
+//   2. run the registry algorithm on every shard concurrently, with a
+//      per-shard seed derived from params.seed and the shard index,
+//   3. concatenate the per-shard clusters in shard order (deterministic),
+//   4. optionally merge until the global t-closeness bound holds,
+//   5. aggregate and measure the release.
+// Futures are collected in submission order, every per-shard computation
+// depends only on its shard's rows, and the merge pass is sequential — so
+// the release is byte-identical for any thread count.
+Result<AnonymizationResult> ShardedAnonymize(
+    const Dataset& data, const ShardedAnonymizeOptions& options,
+    ThreadPool* pool, ShardedAnonymizeStats* stats = nullptr);
+
+}  // namespace tcm
+
+#endif  // TCM_ENGINE_SHARDED_H_

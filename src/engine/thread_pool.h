@@ -1,0 +1,73 @@
+#ifndef TCM_ENGINE_THREAD_POOL_H_
+#define TCM_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tcm {
+
+// Fixed-size worker pool with a FIFO task queue. Submit() hands back a
+// std::future for the task's return value; WaitAll() blocks until every
+// submitted task has finished. The pool is the execution substrate of the
+// engine (sharded pipeline runner, batch mode) but is generic: tasks are
+// arbitrary callables.
+//
+// Scheduling is non-deterministic across threads by nature; engine callers
+// obtain deterministic RESULTS by collecting futures in submission order
+// and keeping per-task work independent of scheduling (see sharded.h).
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; 0 means one per hardware thread (at
+  // least one). A single-threaded pool executes tasks strictly in FIFO
+  // order on its one worker.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  // Drains nothing: outstanding tasks are finished, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns a future for its result. `fn` must be
+  // invocable with no arguments; exceptions propagate through the future.
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // packaged_task is move-only; the shared_ptr makes the wrapper
+    // copyable so it fits in std::function.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  // Blocks until the queue is empty and no worker is running a task.
+  // Tasks submitted while waiting are waited for too.
+  void WaitAll();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_ENGINE_THREAD_POOL_H_

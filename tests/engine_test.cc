@@ -1,0 +1,405 @@
+// Tests for the parallel anonymization engine: thread pool, algorithm
+// registry, sharded pipeline runner and batch mode. The load-bearing
+// property is determinism — the release must be byte-identical for any
+// thread count.
+
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/generator.h"
+#include "engine/batch.h"
+#include "engine/pipeline.h"
+#include "engine/registry.h"
+#include "engine/sharded.h"
+#include "engine/thread_pool.h"
+#include "microagg/partition.h"
+#include "privacy/kanonymity.h"
+#include "privacy/tcloseness.h"
+
+namespace tcm {
+namespace {
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& future : futures) sum += future.get();
+  EXPECT_EQ(sum, 328350);  // sum of squares 0..99
+}
+
+TEST(ThreadPoolTest, WaitAllBlocksUntilQueueDrains) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&done]() { done.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadExecutesInFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&order, i]() { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  std::vector<int> expected(20);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(RegistryTest, UnknownNameListsKnownAlgorithms) {
+  auto fn = AlgorithmRegistry::BuiltIns().Find("definitely_not_there");
+  ASSERT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(fn.status().message().find("known algorithms"),
+            std::string::npos);
+  EXPECT_NE(fn.status().message().find("tclose_first"), std::string::npos);
+}
+
+TEST(RegistryTest, BuiltInsContainEveryAnonymizerInTheTree) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::BuiltIns();
+  for (const char* name :
+       {"merge", "merge_vmdav", "merge_projection", "merge_chunked",
+        "kanon_first", "tclose_first", "mondrian", "sabre", "kanon",
+        "tclose"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    EXPECT_FALSE(registry.Description(name).empty()) << name;
+  }
+}
+
+TEST(RegistryTest, DuplicateRegistrationFails) {
+  AlgorithmRegistry registry;
+  auto fn = [](const Dataset&, const AlgorithmParams&) -> Result<Partition> {
+    return Partition{};
+  };
+  ASSERT_TRUE(registry.Register("x", "first", fn).ok());
+  auto status = registry.Register("x", "second", fn);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(registry.Register("", "unnamed", fn).ok());
+}
+
+// Factory round-trip: every registered algorithm must produce a valid,
+// k-anonymous, t-close release through the shared RunAlgorithm driver.
+TEST(RegistryTest, EveryBuiltinRoundTripsToAVerifiedRelease) {
+  Dataset data = MakeUniformDataset(240, 3, 71);
+  AlgorithmParams params;
+  params.k = 4;
+  params.t = 0.25;
+  for (const std::string& name : AlgorithmRegistry::BuiltIns().Names()) {
+    auto result = RunAlgorithm(data, name, params);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_TRUE(
+        ValidatePartition(result->partition, data.NumRecords(), params.k)
+            .ok())
+        << name;
+    auto k_ok = IsKAnonymous(result->anonymized, params.k);
+    auto t_ok = IsTClose(result->anonymized, params.t);
+    ASSERT_TRUE(k_ok.ok() && t_ok.ok()) << name;
+    EXPECT_TRUE(*k_ok) << name;
+    EXPECT_TRUE(*t_ok) << name;
+    EXPECT_LE(result->max_cluster_emd, params.t + 1e-9) << name;
+  }
+}
+
+TEST(RegistryTest, RunAlgorithmValidatesInputs) {
+  Dataset data = MakeUniformDataset(50, 2, 73);
+  AlgorithmParams params;
+  params.k = 0;
+  EXPECT_FALSE(RunAlgorithm(data, "merge", params).ok());
+  params.k = 51;
+  EXPECT_FALSE(RunAlgorithm(data, "merge", params).ok());
+  params.k = 3;
+  params.t = -0.1;
+  EXPECT_FALSE(RunAlgorithm(data, "merge", params).ok());
+}
+
+// --------------------------------------------------------------- ShardPlan
+
+TEST(ShardPlanTest, CoversEveryRowExactlyOnce) {
+  ShardPlan plan = MakeShardPlan(1000, 128, 5);
+  EXPECT_GT(plan.NumShards(), 1u);
+  std::set<size_t> seen;
+  for (const auto& shard : plan.shards) {
+    EXPECT_GE(shard.size(), 15u);  // 3k floor
+    for (size_t row : shard) {
+      EXPECT_TRUE(seen.insert(row).second) << "row " << row << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(ShardPlanTest, IsAPureFunctionOfItsArguments) {
+  ShardPlan a = MakeShardPlan(5000, 512, 3);
+  ShardPlan b = MakeShardPlan(5000, 512, 3);
+  EXPECT_EQ(a.shards, b.shards);
+}
+
+TEST(ShardPlanTest, DegeneratesToOneShard) {
+  EXPECT_EQ(MakeShardPlan(100, 0, 5).NumShards(), 1u);
+  EXPECT_EQ(MakeShardPlan(100, 100, 5).NumShards(), 1u);
+  EXPECT_EQ(MakeShardPlan(100, 1000, 5).NumShards(), 1u);
+  // Tiny shards are clamped so each keeps >= 3k rows.
+  ShardPlan tiny = MakeShardPlan(100, 2, 10);
+  for (const auto& shard : tiny.shards) EXPECT_GE(shard.size(), 30u);
+}
+
+// ---------------------------------------------------------------- Sharded
+
+TEST(ShardedTest, SingleShardMatchesDirectRun) {
+  Dataset data = MakeMcdDataset();
+  ShardedAnonymizeOptions options;
+  options.algorithm = "tclose_first";
+  options.params.k = 5;
+  options.params.t = 0.15;
+  options.shard_size = 0;  // one shard
+  ThreadPool pool(2);
+  auto sharded = ShardedAnonymize(data, options, &pool);
+  auto direct = RunAlgorithm(data, "tclose_first", options.params);
+  ASSERT_TRUE(sharded.ok() && direct.ok());
+  EXPECT_EQ(WriteCsvString(sharded->anonymized),
+            WriteCsvString(direct->anonymized));
+}
+
+// The determinism contract (acceptance criterion): same seed + same spec
+// must produce byte-identical releases at 1, 4 and 8 threads.
+TEST(ShardedTest, ReleaseIsByteIdenticalAcrossThreadCounts) {
+  Dataset data = MakeUniformDataset(2000, 3, 77);
+  for (const char* algorithm : {"tclose_first", "merge"}) {
+    ShardedAnonymizeOptions options;
+    options.algorithm = algorithm;
+    options.params.k = 5;
+    options.params.t = 0.2;
+    options.params.seed = 99;
+    options.shard_size = 256;
+
+    std::string reference;
+    size_t reference_shards = 0;
+    for (size_t threads : {1u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      ShardedAnonymizeStats stats;
+      auto result = ShardedAnonymize(data, options, &pool, &stats);
+      ASSERT_TRUE(result.ok())
+          << algorithm << " threads=" << threads << ": "
+          << result.status().ToString();
+      EXPECT_GT(stats.num_shards, 1u);
+      std::string release = WriteCsvString(result->anonymized);
+      if (reference.empty()) {
+        reference = release;
+        reference_shards = stats.num_shards;
+        // The sharded release must still satisfy both guarantees
+        // globally, not just per shard.
+        auto k_ok = IsKAnonymous(result->anonymized, options.params.k);
+        auto t_ok = IsTClose(result->anonymized, options.params.t);
+        ASSERT_TRUE(k_ok.ok() && t_ok.ok());
+        EXPECT_TRUE(*k_ok) << algorithm;
+        EXPECT_TRUE(*t_ok) << algorithm;
+      } else {
+        EXPECT_EQ(release, reference)
+            << algorithm << ": threads=" << threads
+            << " diverged from threads=1";
+        EXPECT_EQ(stats.num_shards, reference_shards);
+      }
+    }
+  }
+}
+
+TEST(ShardedTest, RepeatedRunsAreIdentical) {
+  Dataset data = MakeUniformDataset(1200, 2, 79);
+  ShardedAnonymizeOptions options;
+  options.params.k = 4;
+  options.params.t = 0.2;
+  options.shard_size = 200;
+  ThreadPool pool(4);
+  auto first = ShardedAnonymize(data, options, &pool);
+  auto second = ShardedAnonymize(data, options, &pool);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(WriteCsvString(first->anonymized),
+            WriteCsvString(second->anonymized));
+}
+
+TEST(ShardedTest, NullPoolRunsSeriallyWithSameResult) {
+  Dataset data = MakeUniformDataset(800, 2, 81);
+  ShardedAnonymizeOptions options;
+  options.params.k = 4;
+  options.params.t = 0.2;
+  options.shard_size = 150;
+  ThreadPool pool(4);
+  auto pooled = ShardedAnonymize(data, options, &pool);
+  auto serial = ShardedAnonymize(data, options, nullptr);
+  ASSERT_TRUE(pooled.ok() && serial.ok());
+  EXPECT_EQ(WriteCsvString(pooled->anonymized),
+            WriteCsvString(serial->anonymized));
+}
+
+TEST(ShardedTest, MultiShardPathValidatesRolesAndParams) {
+  // A dataset with no confidential attribute must fail with a Status on
+  // the multi-shard path too (not abort inside a pool worker), and a
+  // negative t must be rejected before any shard runs.
+  Dataset data = MakeUniformDataset(800, 2, 95);
+  Dataset no_conf = *data.Project({0, 1});  // QIs only
+  ShardedAnonymizeOptions options;
+  options.params.k = 4;
+  options.params.t = 0.2;
+  options.shard_size = 150;
+  auto result = ShardedAnonymize(no_conf, options, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  options.params.t = -0.5;
+  result = ShardedAnonymize(data, options, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedTest, ReportsFinalMergesWithoutStatsOutParam) {
+  Dataset data = MakeUniformDataset(900, 2, 97);
+  ShardedAnonymizeOptions options;
+  options.params.k = 4;
+  options.params.t = 0.2;
+  options.shard_size = 150;
+  ThreadPool pool(2);
+  ShardedAnonymizeStats stats;
+  auto with_stats = ShardedAnonymize(data, options, &pool, &stats);
+  auto without = ShardedAnonymize(data, options, &pool, nullptr);
+  ASSERT_TRUE(with_stats.ok() && without.ok());
+  EXPECT_EQ(without->merges, stats.final_merges);
+  EXPECT_EQ(with_stats->merges, stats.final_merges);
+}
+
+TEST(ShardedTest, UnknownAlgorithmFailsBeforeAnyWork) {
+  Dataset data = MakeUniformDataset(100, 2, 83);
+  ShardedAnonymizeOptions options;
+  options.algorithm = "bogus";
+  auto result = ShardedAnonymize(data, options, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, EndToEndFromCsvWithRolesByName) {
+  std::string dir = ::testing::TempDir();
+  std::string input = dir + "/engine_pipeline_in.csv";
+  std::string output = dir + "/engine_pipeline_out.csv";
+  Dataset data = MakeUniformDataset(600, 3, 85);
+  // Strip the roles: the pipeline must reassign them by column name.
+  ASSERT_TRUE(WriteCsv(data, input).ok());
+
+  PipelineSpec spec;
+  spec.input_path = input;
+  spec.output_path = output;
+  spec.quasi_identifiers = {"QI1", "QI2"};
+  spec.confidential = "CONF";
+  spec.k = 4;
+  spec.t = 0.2;
+  spec.shard_size = 150;
+  PipelineRunner runner(2);
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->k_verified);
+  EXPECT_TRUE(report->t_verified);
+  EXPECT_GT(report->num_shards, 1u);
+  EXPECT_EQ(report->threads, 2u);
+  EXPECT_GE(report->anonymize_seconds, 0.0);
+
+  auto released = ReadNumericCsv(output);
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(released->NumRecords(), 600u);
+  std::remove(input.c_str());
+  std::remove(output.c_str());
+}
+
+TEST(PipelineTest, UnknownColumnFailsWithAvailableColumns) {
+  Dataset data = MakeUniformDataset(100, 2, 87);
+  PipelineSpec spec;
+  spec.quasi_identifiers = {"QI1", "nope"};
+  spec.confidential = "CONF";
+  PipelineRunner runner(1);
+  auto report = runner.Run(data, spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("'nope'"), std::string::npos);
+  EXPECT_NE(report.status().message().find("available columns"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, InMemoryRunKeepsExistingRoles) {
+  Dataset data = MakeMcdDataset();  // roles already assigned
+  PipelineSpec spec;
+  spec.k = 4;
+  spec.t = 0.15;
+  spec.shard_size = 0;
+  PipelineRunner runner(1);
+  auto report = runner.Run(data, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->k_verified);
+  EXPECT_TRUE(report->t_verified);
+  EXPECT_EQ(report->num_shards, 1u);
+}
+
+// ------------------------------------------------------------------- Batch
+
+TEST(BatchTest, OutcomesStayInJobOrderAndIsolateFailures) {
+  Dataset small = MakeUniformDataset(60, 2, 89);
+  Dataset medium = MakeUniformDataset(200, 2, 91);
+  std::vector<BatchJob> jobs(3);
+  jobs[0].label = "ok-small";
+  jobs[0].data = &small;
+  jobs[0].params.k = 3;
+  jobs[0].params.t = 0.3;
+  jobs[1].label = "bad-k";
+  jobs[1].data = &small;
+  jobs[1].params.k = 1000;  // > n: must fail
+  jobs[2].label = "ok-medium";
+  jobs[2].data = &medium;
+  jobs[2].algorithm = "merge";
+  jobs[2].params.k = 4;
+  jobs[2].params.t = 0.3;
+
+  ThreadPool pool(3);
+  std::vector<BatchOutcome> outcomes = RunBatch(jobs, &pool);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].label, "ok-small");
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_GE(outcomes[0].min_cluster_size, 3u);
+  EXPECT_EQ(outcomes[1].label, "bad-k");
+  EXPECT_FALSE(outcomes[1].status.ok());
+  EXPECT_EQ(outcomes[2].label, "ok-medium");
+  EXPECT_TRUE(outcomes[2].status.ok());
+  EXPECT_LE(outcomes[2].max_cluster_emd, 0.3 + 1e-9);
+}
+
+TEST(BatchTest, NullDatasetAndNullPoolAreHandled) {
+  std::vector<BatchJob> jobs(1);
+  jobs[0].label = "no-data";
+  std::vector<BatchOutcome> outcomes = RunBatch(jobs, nullptr);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].status.ok());
+  EXPECT_TRUE(RunBatch({}, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace tcm

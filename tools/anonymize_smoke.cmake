@@ -55,4 +55,56 @@ if(release_line_count LESS 61)
     "release has ${release_line_count} lines, expected header + 60 records")
 endif()
 
+# Registry-driven dispatch: the same run through a registry name that the
+# old enum never knew, on a 2-thread pool.
+set(output_merge "${WORK_DIR}/release_merge.csv")
+file(REMOVE "${output_merge}")
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}"
+    --input "${input}" --output "${output_merge}"
+    --qi age,zipcode --confidential salary
+    --k 3 --t 0.35 --algorithm merge_vmdav --threads 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE errors)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "--algorithm merge_vmdav --threads 2 exited with ${rc}\n${errors}")
+endif()
+if(NOT EXISTS "${output_merge}")
+  message(FATAL_ERROR "merge_vmdav release was not written")
+endif()
+
+# An unknown algorithm must fail fast and list the registered names.
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}"
+    --input "${input}" --output "${WORK_DIR}/never.csv"
+    --qi age,zipcode --confidential salary --algorithm bogus
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE errors)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--algorithm bogus unexpectedly succeeded")
+endif()
+if(NOT errors MATCHES "known algorithms")
+  message(FATAL_ERROR
+    "unknown-algorithm error does not list the registry:\n${errors}")
+endif()
+
+# A misspelled column must fail with the available columns in the message.
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}"
+    --input "${input}" --output "${WORK_DIR}/never.csv"
+    --qi age,zipcodee --confidential salary
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE errors)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--qi zipcodee unexpectedly succeeded")
+endif()
+if(NOT errors MATCHES "available columns: age, zipcode, salary")
+  message(FATAL_ERROR
+    "bad-column error does not list the header columns:\n${errors}")
+endif()
+
 message(STATUS "anonymize smoke OK: ${release_line_count} lines released")

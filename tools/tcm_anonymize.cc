@@ -1,26 +1,29 @@
-// tcm_anonymize: command-line anonymizer over CSV files.
+// tcm_anonymize: command-line anonymizer over CSV files, driven by the
+// parallel engine (algorithm registry + sharded pipeline runner).
 //
 //   tcm_anonymize --input data.csv --output release.csv
 //       --qi age,zipcode --confidential salary
-//       --k 5 --t 0.1 [--algorithm merge|kanon|tclose] [--report]
+//       --k 5 --t 0.1 [--algorithm NAME] [--threads N] [--shard-size N]
+//       [--seed N] [--report] [--list-algorithms]
 //
 // The input must be a numeric CSV with a header row. Columns named in
 // --qi become quasi-identifiers, the --confidential column drives
-// t-closeness, everything else is released unchanged. Exit code 0 only
-// when the release was produced AND re-verified.
+// t-closeness, everything else is released unchanged. --algorithm takes
+// any name registered in the engine's AlgorithmRegistry (see
+// --list-algorithms); large inputs are sharded (--shard-size rows per
+// shard, 0 disables) and the shards are anonymized in parallel on
+// --threads workers. The release is byte-identical for any thread
+// count. Exit code 0 only when the release was produced AND re-verified.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
-#include "data/csv.h"
-#include "privacy/kanonymity.h"
-#include "privacy/tcloseness.h"
-#include "tclose/anonymizer.h"
+#include "engine/pipeline.h"
+#include "engine/registry.h"
 
 namespace {
 
@@ -31,8 +34,12 @@ struct CliOptions {
   std::string confidential;
   size_t k = 5;
   double t = 0.1;
-  tcm::TCloseAlgorithm algorithm = tcm::TCloseAlgorithm::kTClosenessFirst;
+  std::string algorithm = "tclose_first";
+  size_t threads = 1;
+  size_t shard_size = 4096;
+  uint64_t seed = 1;
   bool report = false;
+  bool list_algorithms = false;
 };
 
 void PrintUsage() {
@@ -40,7 +47,41 @@ void PrintUsage() {
       stderr,
       "usage: tcm_anonymize --input FILE --output FILE --qi A,B,...\n"
       "                     --confidential C [--k N] [--t X]\n"
-      "                     [--algorithm merge|kanon|tclose] [--report]\n");
+      "                     [--algorithm NAME] [--threads N]\n"
+      "                     [--shard-size N] [--seed N] [--report]\n"
+      "                     [--list-algorithms]\n");
+}
+
+// Strict non-negative integer parse: rejects signs, garbage and overflow
+// (strtoul would wrap "-1" to ULONG_MAX and read "abc" as 0).
+bool ParseSize(const char* text, size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    size_t digit = static_cast<size_t>(*p - '0');
+    if (value > (SIZE_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseSizeFlag(const char* flag, const char* text, size_t* out) {
+  if (text != nullptr && ParseSize(text, out)) return true;
+  std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+               flag, text == nullptr ? "" : text);
+  return false;
+}
+
+void PrintAlgorithms() {
+  const tcm::AlgorithmRegistry& registry =
+      tcm::AlgorithmRegistry::BuiltIns();
+  std::printf("registered algorithms:\n");
+  for (const std::string& name : registry.Names()) {
+    std::printf("  %-18s %s\n", name.c_str(),
+                registry.Description(name).c_str());
+  }
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -51,6 +92,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     };
     if (flag == "--report") {
       options->report = true;
+    } else if (flag == "--list-algorithms") {
+      options->list_algorithms = true;
     } else if (flag == "--input") {
       const char* v = next();
       if (!v) return false;
@@ -68,31 +111,37 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       if (!v) return false;
       options->confidential = v;
     } else if (flag == "--k") {
-      const char* v = next();
-      if (!v) return false;
-      options->k = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+      if (!ParseSizeFlag("--k", next(), &options->k)) return false;
     } else if (flag == "--t") {
       const char* v = next();
-      if (!v) return false;
-      options->t = std::strtod(v, nullptr);
+      if (!v || !tcm::ParseDouble(v, &options->t) || options->t < 0.0) {
+        std::fprintf(stderr,
+                     "--t expects a non-negative number, got '%s'\n",
+                     v == nullptr ? "" : v);
+        return false;
+      }
     } else if (flag == "--algorithm") {
       const char* v = next();
       if (!v) return false;
-      if (std::strcmp(v, "merge") == 0) {
-        options->algorithm = tcm::TCloseAlgorithm::kMicroaggregationMerge;
-      } else if (std::strcmp(v, "kanon") == 0) {
-        options->algorithm = tcm::TCloseAlgorithm::kKAnonymityFirst;
-      } else if (std::strcmp(v, "tclose") == 0) {
-        options->algorithm = tcm::TCloseAlgorithm::kTClosenessFirst;
-      } else {
-        std::fprintf(stderr, "unknown algorithm '%s'\n", v);
+      options->algorithm = v;
+    } else if (flag == "--threads") {
+      if (!ParseSizeFlag("--threads", next(), &options->threads)) {
         return false;
       }
+    } else if (flag == "--shard-size") {
+      if (!ParseSizeFlag("--shard-size", next(), &options->shard_size)) {
+        return false;
+      }
+    } else if (flag == "--seed") {
+      size_t seed = 0;
+      if (!ParseSizeFlag("--seed", next(), &seed)) return false;
+      options->seed = seed;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
     }
   }
+  if (options->list_algorithms) return true;
   return !options->input.empty() && !options->output.empty() &&
          !options->qi.empty() && !options->confidential.empty();
 }
@@ -105,76 +154,64 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (options.list_algorithms) {
+    PrintAlgorithms();
+    return 0;
+  }
 
-  auto loaded = tcm::ReadNumericCsv(options.input);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "cannot read %s: %s\n", options.input.c_str(),
-                 loaded.status().ToString().c_str());
+  // Registry-driven dispatch: validate the name up front so a typo fails
+  // fast, before any CSV is read.
+  if (auto fn = tcm::AlgorithmRegistry::BuiltIns().Find(options.algorithm);
+      !fn.ok()) {
+    std::fprintf(stderr, "%s\n", fn.status().message().c_str());
     return 1;
   }
 
-  // Assign roles.
-  tcm::Schema schema = loaded->schema();
-  for (const std::string& name : options.qi) {
-    auto updated =
-        schema.WithRole(name, tcm::AttributeRole::kQuasiIdentifier);
-    if (!updated.ok()) {
-      std::fprintf(stderr, "--qi: %s\n", updated.status().ToString().c_str());
-      return 1;
-    }
-    schema = std::move(updated).value();
-  }
-  auto updated =
-      schema.WithRole(options.confidential, tcm::AttributeRole::kConfidential);
-  if (!updated.ok()) {
-    std::fprintf(stderr, "--confidential: %s\n",
-                 updated.status().ToString().c_str());
-    return 1;
-  }
-  schema = std::move(updated).value();
-  if (auto status = loaded->ReplaceSchema(schema); !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
+  tcm::PipelineSpec spec;
+  spec.input_path = options.input;
+  spec.output_path = options.output;
+  spec.quasi_identifiers = options.qi;
+  spec.confidential = options.confidential;
+  spec.algorithm = options.algorithm;
+  spec.k = options.k;
+  spec.t = options.t;
+  spec.seed = options.seed;
+  spec.shard_size = options.shard_size;
+  spec.verify = true;
 
-  tcm::AnonymizerOptions anonymizer_options;
-  anonymizer_options.k = options.k;
-  anonymizer_options.t = options.t;
-  anonymizer_options.algorithm = options.algorithm;
-  auto result = tcm::Anonymize(*loaded, anonymizer_options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "anonymization failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
-  }
-
-  auto k_ok = tcm::IsKAnonymous(result->anonymized, options.k);
-  auto t_ok = tcm::IsTClose(result->anonymized, options.t);
-  if (!k_ok.ok() || !t_ok.ok() || !*k_ok || !*t_ok) {
-    std::fprintf(stderr, "release failed verification\n");
-    return 1;
-  }
-
-  if (auto status = tcm::WriteCsv(result->anonymized, options.output);
-      !status.ok()) {
-    std::fprintf(stderr, "cannot write %s: %s\n", options.output.c_str(),
-                 status.ToString().c_str());
+  tcm::PipelineRunner runner(options.threads);
+  auto report = runner.Run(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().message().c_str());
     return 1;
   }
 
   if (options.report) {
-    std::printf("records            : %zu\n", loaded->NumRecords());
-    std::printf("algorithm          : %s\n",
-                tcm::TCloseAlgorithmName(options.algorithm));
+    const tcm::AnonymizationResult& result = report->result;
+    std::printf("records            : %zu\n",
+                result.anonymized.NumRecords());
+    std::printf("algorithm          : %s\n", options.algorithm.c_str());
+    std::printf("threads            : %zu\n", report->threads);
+    std::printf("shards             : %zu (merges to restore t: %zu)\n",
+                report->num_shards, report->final_merges);
     std::printf("clusters           : %zu\n",
-                result->partition.NumClusters());
+                result.partition.NumClusters());
     std::printf("cluster size       : min=%zu avg=%.2f max=%zu\n",
-                result->min_cluster_size, result->average_cluster_size,
-                result->max_cluster_size);
+                result.min_cluster_size, result.average_cluster_size,
+                result.max_cluster_size);
     std::printf("max cluster EMD    : %.4f (t=%.4f)\n",
-                result->max_cluster_emd, options.t);
-    std::printf("normalized SSE     : %.6f\n", result->normalized_sse);
-    std::printf("elapsed            : %.3f s\n", result->elapsed_seconds);
+                result.max_cluster_emd, options.t);
+    std::printf("normalized SSE     : %.6f\n", result.normalized_sse);
+    std::printf("verified           : k-anonymity=%s t-closeness=%s\n",
+                report->k_verified ? "yes" : "no",
+                report->t_verified ? "yes" : "no");
+    std::printf(
+        "elapsed            : %.3f s (load %.3f, anonymize %.3f, "
+        "verify %.3f, write %.3f)\n",
+        report->load_seconds + report->anonymize_seconds +
+            report->verify_seconds + report->write_seconds,
+        report->load_seconds, report->anonymize_seconds,
+        report->verify_seconds, report->write_seconds);
   }
   return 0;
 }
