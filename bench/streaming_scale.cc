@@ -1,0 +1,105 @@
+// Out-of-core streaming throughput: drive a generated million-row
+// record stream through StreamingPipelineRunner at 1/2/4/8 threads and
+// measure rows/sec, window count and the peak resident rows against the
+// --max-resident-rows budget. Seeds the BENCH_streaming.json perf
+// trajectory: one JSON object per thread count, printed as a line on
+// stdout and collected into a JSON array file.
+//
+// Environment knobs (see bench_util.h):
+//   TCM_N         — streamed record count      (default 1000000)
+//   TCM_RESIDENT  — resident-row budget        (default 100000)
+//   TCM_SHARD     — rows per shard             (default 4096)
+//   TCM_ALGO      — registry algorithm name    (default merge_chunked)
+//   TCM_BENCH_OUT — output JSON path           (default BENCH_streaming.json)
+//   TCM_FAST      — nonzero: 60k rows / 20k budget for smoke runs
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "data/record_source.h"
+#include "engine/streaming.h"
+
+int main() {
+  const bool fast = tcm_bench::FastMode();
+  const size_t n = tcm_bench::EnvSize("TCM_N", fast ? 60000 : 1000000);
+  const size_t resident =
+      tcm_bench::EnvSize("TCM_RESIDENT", fast ? 20000 : 100000);
+  const size_t shard_size = tcm_bench::EnvSize("TCM_SHARD", 4096);
+  const char* algo_env = std::getenv("TCM_ALGO");
+  const std::string algorithm =
+      (algo_env != nullptr && *algo_env != '\0') ? algo_env : "merge_chunked";
+  const char* out_env = std::getenv("TCM_BENCH_OUT");
+  const std::string out_path =
+      (out_env != nullptr && *out_env != '\0') ? out_env
+                                               : "BENCH_streaming.json";
+
+  tcm_bench::PrintHeader("streaming_scale: out-of-core " + algorithm +
+                         ", n=" + std::to_string(n) +
+                         ", resident budget=" + std::to_string(resident));
+
+  tcm::StreamingSpec spec;
+  spec.algorithm = algorithm;
+  spec.k = 5;
+  spec.t = 0.2;
+  spec.seed = 2016;
+  spec.shard_size = shard_size;
+  spec.max_resident_rows = resident;
+  spec.verify = true;
+
+  std::vector<std::string> json_lines;
+  double reference_seconds = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // A source is single-pass: regenerate the identical stream per run.
+    auto source = tcm::MakeUniformSource(n, 3, 2016);
+    tcm::StreamingPipelineRunner runner(threads);
+    tcm::WallTimer timer;
+    auto report = runner.Run(source.get(), spec);
+    double seconds = timer.ElapsedSeconds();
+    if (!report.ok()) {
+      std::fprintf(stderr, "threads=%zu failed: %s\n", threads,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (threads == 1) reference_seconds = seconds;
+    bool bounded = report->peak_resident_rows <= resident;
+    bool verified = report->k_verified && report->t_verified;
+
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"streaming_scale\",\"algorithm\":\"%s\",\"n\":%zu,"
+        "\"max_resident_rows\":%zu,\"peak_resident_rows\":%zu,"
+        "\"bounded\":%s,\"windows\":%zu,\"shard_size\":%zu,\"threads\":%zu,"
+        "\"seconds\":%.3f,\"rows_per_sec\":%.0f,\"speedup\":%.2f,"
+        "\"verified\":%s,\"final_merges\":%zu,\"sse\":%.6f,"
+        "\"max_emd\":%.4f}",
+        algorithm.c_str(), n, resident, report->peak_resident_rows,
+        bounded ? "true" : "false", report->num_windows, shard_size, threads,
+        seconds, static_cast<double>(n) / seconds,
+        reference_seconds / seconds, verified ? "true" : "false",
+        report->final_merges, report->normalized_sse,
+        report->max_cluster_emd);
+    std::printf("%s\n", line);
+    json_lines.push_back(line);
+    if (!bounded || !verified) return 1;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < json_lines.size(); ++i) {
+    std::fprintf(out, "  %s%s\n", json_lines[i].c_str(),
+                 i + 1 < json_lines.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,135 +1,50 @@
 #include "data/csv.h"
 
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <sstream>
+#include <utility>
 
-#include "common/strings.h"
+#include "data/csv_stream.h"
+
+// The in-memory API is a thin wrapper over the incremental plumbing in
+// csv_stream.h: both this reader and StreamingCsvReader tokenize,
+// validate and convert with the same code, so any input — including
+// adversarial quoting — gets the same verdict from either path.
 
 namespace tcm {
 namespace {
 
-Result<Dataset> ParseLines(std::istream& in, const Schema& schema) {
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::IoError("empty input: missing header row");
-  }
-  std::vector<std::string> header = SplitString(line, ',');
-  if (header.size() != schema.size()) {
-    return Status::IoError("header has " + std::to_string(header.size()) +
-                           " columns, schema expects " +
-                           std::to_string(schema.size()));
-  }
-  for (size_t i = 0; i < header.size(); ++i) {
-    if (std::string(StripWhitespace(header[i])) != schema.at(i).name) {
-      return Status::IoError("header column " + std::to_string(i) + " is '" +
-                             header[i] + "', expected '" + schema.at(i).name +
-                             "'");
-    }
-  }
+constexpr size_t kAllRows = std::numeric_limits<size_t>::max();
 
-  Dataset out{schema};
-  size_t line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (StripWhitespace(line).empty()) continue;
-    std::vector<std::string> fields = SplitString(line, ',');
-    if (fields.size() != schema.size()) {
-      return Status::IoError("line " + std::to_string(line_number) + " has " +
-                             std::to_string(fields.size()) + " fields");
-    }
-    Record record;
-    record.reserve(fields.size());
-    for (size_t i = 0; i < fields.size(); ++i) {
-      std::string field(StripWhitespace(fields[i]));
-      const Attribute& attr = schema.at(i);
-      if (attr.is_categorical()) {
-        int32_t code = -1;
-        for (size_t c = 0; c < attr.categories.size(); ++c) {
-          if (attr.categories[c] == field) {
-            code = static_cast<int32_t>(c);
-            break;
-          }
-        }
-        if (code < 0) {
-          return Status::IoError("line " + std::to_string(line_number) +
-                                 ": unknown category '" + field +
-                                 "' for attribute '" + attr.name + "'");
-        }
-        record.push_back(Value::Categorical(code));
-      } else {
-        double value = 0.0;
-        if (!ParseDouble(field, &value)) {
-          return Status::IoError("line " + std::to_string(line_number) +
-                                 ": cannot parse '" + field +
-                                 "' as a number for attribute '" + attr.name +
-                                 "'");
-        }
-        record.push_back(Value::Numeric(value));
-      }
-    }
-    TCM_RETURN_IF_ERROR(out.Append(std::move(record)));
-  }
+Result<Dataset> DrainReader(
+    Result<std::unique_ptr<StreamingCsvReader>> reader) {
+  TCM_RETURN_IF_ERROR(reader.status());
+  Dataset out((*reader)->schema());
+  TCM_RETURN_IF_ERROR((*reader)->ReadInto(&out, kAllRows).status());
   return out;
 }
 
 void WriteLines(const Dataset& data, std::ostream& out) {
-  const Schema& schema = data.schema();
-  for (size_t i = 0; i < schema.size(); ++i) {
-    if (i > 0) out << ',';
-    out << schema.at(i).name;
-  }
-  out << '\n';
-  for (size_t row = 0; row < data.NumRecords(); ++row) {
-    for (size_t col = 0; col < schema.size(); ++col) {
-      if (col > 0) out << ',';
-      const Value& v = data.cell(row, col);
-      if (v.is_categorical()) {
-        const auto& categories = schema.at(col).categories;
-        size_t code = static_cast<size_t>(v.category());
-        if (code < categories.size()) {
-          out << categories[code];
-        } else {
-          out << v.category();
-        }
-      } else {
-        // 17 significant digits: doubles round-trip exactly.
-        out << FormatDouble(v.numeric(), 17);
-      }
-    }
-    out << '\n';
-  }
+  std::string header;
+  AppendCsvHeader(data.schema(), &header);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  WriteCsvRows(data, out);
 }
 
 }  // namespace
 
 Result<Dataset> ReadCsv(const std::string& path, const Schema& schema) {
-  std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "' for reading");
-  return ParseLines(file, schema);
+  return DrainReader(StreamingCsvReader::Open(path, schema));
 }
 
 Result<Dataset> ReadNumericCsv(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "' for reading");
-  std::string header;
-  if (!std::getline(file, header)) {
-    return Status::IoError("empty input: missing header row");
-  }
-  std::vector<Attribute> attrs;
-  for (const std::string& name : SplitString(header, ',')) {
-    attrs.push_back(Attribute{std::string(StripWhitespace(name)),
-                              AttributeType::kNumeric, AttributeRole::kOther,
-                              {}});
-  }
-  Schema schema(std::move(attrs));
-  // Re-parse from the top so ParseLines can validate the header uniformly.
-  file.clear();
-  file.seekg(0);
-  return ParseLines(file, schema);
+  return DrainReader(StreamingCsvReader::OpenNumeric(path));
 }
 
 Status WriteCsv(const Dataset& data, const std::string& path) {
-  std::ofstream file(path);
+  std::ofstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open '" + path + "' for writing");
   WriteLines(data, file);
   if (!file.good()) return Status::IoError("write to '" + path + "' failed");
@@ -137,8 +52,8 @@ Status WriteCsv(const Dataset& data, const std::string& path) {
 }
 
 Result<Dataset> ParseCsvString(const std::string& text, const Schema& schema) {
-  std::istringstream in(text);
-  return ParseLines(in, schema);
+  return DrainReader(StreamingCsvReader::FromStream(
+      std::make_unique<std::istringstream>(text), schema));
 }
 
 std::string WriteCsvString(const Dataset& data) {

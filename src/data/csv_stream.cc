@@ -1,0 +1,436 @@
+#include "data/csv_stream.h"
+
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace tcm {
+
+// --- CsvTokenizer ---
+
+void CsvTokenizer::Feed(std::string_view chunk) {
+  if (finished_) return;
+  for (char c : chunk) {
+    if (!error_.ok()) return;
+    Consume(c);
+  }
+}
+
+void CsvTokenizer::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!error_.ok()) return;
+  if (pending_cr_) {
+    pending_cr_ = false;
+    if (state_ == State::kQuoteSeen) {
+      // "...x"\r<EOF>: accept the CR as the record terminator.
+      EndRecord();
+      return;
+    }
+    field_.push_back('\r');
+    if (state_ != State::kQuoted) state_ = State::kUnquoted;
+  }
+  switch (state_) {
+    case State::kRecordStart:
+      break;  // input ended cleanly after a newline (or was empty)
+    case State::kFieldStart:
+    case State::kUnquoted:
+    case State::kQuoteSeen:
+      EndRecord();  // final record without a trailing newline
+      break;
+    case State::kQuoted:
+      Fail("unterminated quoted field at end of input");
+      break;
+  }
+}
+
+Result<bool> CsvTokenizer::Next(std::vector<std::string>* fields) {
+  if (!ready_.empty()) {
+    PendingRecord& front = ready_.front();
+    *fields = std::move(front.fields);
+    last_record_line_ = front.line;
+    ready_.pop_front();
+    return true;
+  }
+  if (!error_.ok()) return error_;
+  return false;
+}
+
+void CsvTokenizer::Consume(char c) {
+  if (pending_cr_) {
+    pending_cr_ = false;
+    if (c == '\n') {
+      ++line_;
+      EndRecord();
+      return;
+    }
+    if (state_ == State::kQuoteSeen) {
+      Fail("unexpected character after closing quote");
+      return;
+    }
+    // A CR not followed by LF is field data, like any other byte.
+    field_.push_back('\r');
+    if (state_ != State::kQuoted) state_ = State::kUnquoted;
+  }
+  switch (state_) {
+    case State::kRecordStart:
+    case State::kFieldStart:
+      if (c == '"') {
+        state_ = State::kQuoted;
+      } else if (c == ',') {
+        EndField();
+        state_ = State::kFieldStart;
+      } else if (c == '\n') {
+        ++line_;
+        EndRecord();
+      } else if (c == '\r') {
+        pending_cr_ = true;
+      } else {
+        field_.push_back(c);
+        state_ = State::kUnquoted;
+      }
+      break;
+    case State::kUnquoted:
+      if (c == ',') {
+        EndField();
+        state_ = State::kFieldStart;
+      } else if (c == '\n') {
+        ++line_;
+        EndRecord();
+      } else if (c == '\r') {
+        pending_cr_ = true;
+      } else if (c == '"') {
+        Fail("quote character inside unquoted field");
+      } else {
+        field_.push_back(c);
+      }
+      break;
+    case State::kQuoted:
+      if (c == '"') {
+        state_ = State::kQuoteSeen;
+      } else {
+        if (c == '\n') ++line_;
+        field_.push_back(c);
+      }
+      break;
+    case State::kQuoteSeen:
+      if (c == '"') {
+        field_.push_back('"');  // "" escape
+        state_ = State::kQuoted;
+      } else if (c == ',') {
+        EndField();
+        state_ = State::kFieldStart;
+      } else if (c == '\n') {
+        ++line_;
+        EndRecord();
+      } else if (c == '\r') {
+        pending_cr_ = true;
+      } else {
+        Fail("unexpected character after closing quote");
+      }
+      break;
+  }
+}
+
+void CsvTokenizer::EndField() {
+  record_.push_back(std::move(field_));
+  field_.clear();
+}
+
+void CsvTokenizer::EndRecord() {
+  EndField();
+  ready_.push_back(PendingRecord{std::move(record_), record_start_line_});
+  record_.clear();
+  state_ = State::kRecordStart;
+  record_start_line_ = line_;
+}
+
+void CsvTokenizer::Fail(const std::string& message) {
+  if (!error_.ok()) return;
+  error_ = Status::IoError("line " + std::to_string(line_) + ": " + message);
+}
+
+// --- Shared record-level helpers ---
+
+bool IsBlankCsvRecord(const std::vector<std::string>& fields) {
+  return fields.size() == 1 && StripWhitespace(fields[0]).empty();
+}
+
+Status ValidateCsvHeader(const std::vector<std::string>& fields,
+                         const Schema& schema) {
+  if (fields.size() != schema.size()) {
+    return Status::IoError("header has " + std::to_string(fields.size()) +
+                           " columns, schema expects " +
+                           std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (std::string(StripWhitespace(fields[i])) != schema.at(i).name) {
+      return Status::IoError("header column " + std::to_string(i) + " is '" +
+                             fields[i] + "', expected '" + schema.at(i).name +
+                             "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Schema NumericSchemaFromHeader(const std::vector<std::string>& fields) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(fields.size());
+  for (const std::string& name : fields) {
+    attrs.push_back(Attribute{std::string(StripWhitespace(name)),
+                              AttributeType::kNumeric, AttributeRole::kOther,
+                              {}});
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<Record> CsvFieldsToRecord(const std::vector<std::string>& fields,
+                                 const Schema& schema, size_t line) {
+  if (fields.size() != schema.size()) {
+    return Status::IoError("line " + std::to_string(line) + " has " +
+                           std::to_string(fields.size()) + " fields");
+  }
+  Record record;
+  record.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::string field(StripWhitespace(fields[i]));
+    const Attribute& attr = schema.at(i);
+    if (attr.is_categorical()) {
+      int32_t code = -1;
+      for (size_t c = 0; c < attr.categories.size(); ++c) {
+        if (attr.categories[c] == field) {
+          code = static_cast<int32_t>(c);
+          break;
+        }
+      }
+      if (code < 0) {
+        return Status::IoError("line " + std::to_string(line) +
+                               ": unknown category '" + field +
+                               "' for attribute '" + attr.name + "'");
+      }
+      record.push_back(Value::Categorical(code));
+    } else {
+      double value = 0.0;
+      if (!ParseDouble(field, &value)) {
+        return Status::IoError("line " + std::to_string(line) +
+                               ": cannot parse '" + field +
+                               "' as a number for attribute '" + attr.name +
+                               "'");
+      }
+      record.push_back(Value::Numeric(value));
+    }
+  }
+  return record;
+}
+
+// --- Shared formatting ---
+
+namespace {
+
+void AppendCsvField(std::string_view text, std::string* out) {
+  if (text.find_first_of(",\"\n\r") == std::string_view::npos) {
+    out->append(text);
+    return;
+  }
+  out->push_back('"');
+  for (char c : text) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void AppendCsvHeader(const Schema& schema, std::string* out) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendCsvField(schema.at(i).name, out);
+  }
+  out->push_back('\n');
+}
+
+void AppendCsvRow(const Dataset& data, size_t row, std::string* out) {
+  const Schema& schema = data.schema();
+  for (size_t col = 0; col < schema.size(); ++col) {
+    if (col > 0) out->push_back(',');
+    const Value& v = data.cell(row, col);
+    if (v.is_categorical()) {
+      const auto& categories = schema.at(col).categories;
+      size_t code = static_cast<size_t>(v.category());
+      if (code < categories.size()) {
+        AppendCsvField(categories[code], out);
+      } else {
+        out->append(std::to_string(v.category()));
+      }
+    } else {
+      // 17 significant digits: doubles round-trip exactly.
+      out->append(FormatDouble(v.numeric(), 17));
+    }
+  }
+  out->push_back('\n');
+}
+
+void WriteCsvRows(const Dataset& data, std::ostream& out) {
+  std::string buffer;
+  for (size_t row = 0; row < data.NumRecords(); ++row) {
+    AppendCsvRow(data, row, &buffer);
+    if (buffer.size() >= (1u << 16)) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+}
+
+// --- StreamingCsvReader ---
+
+Result<std::unique_ptr<StreamingCsvReader>> StreamingCsvReader::Make(
+    std::unique_ptr<std::istream> input, const Schema* schema,
+    const StreamingCsvOptions& options) {
+  if (options.buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer_bytes must be positive");
+  }
+  std::unique_ptr<StreamingCsvReader> reader(new StreamingCsvReader(
+      std::move(input), schema != nullptr ? *schema : Schema(), options));
+  std::vector<std::string> header;
+  TCM_ASSIGN_OR_RETURN(bool got_header, reader->NextRecord(&header));
+  if (!got_header) {
+    return Status::IoError("empty input: missing header row");
+  }
+  if (schema != nullptr) {
+    TCM_RETURN_IF_ERROR(ValidateCsvHeader(header, *schema));
+  } else {
+    reader->schema_ = NumericSchemaFromHeader(header);
+  }
+  return reader;
+}
+
+Result<std::unique_ptr<StreamingCsvReader>> StreamingCsvReader::Open(
+    const std::string& path, const Schema& schema,
+    const StreamingCsvOptions& options) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return Make(std::move(file), &schema, options);
+}
+
+Result<std::unique_ptr<StreamingCsvReader>> StreamingCsvReader::OpenNumeric(
+    const std::string& path, const StreamingCsvOptions& options) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return Make(std::move(file), nullptr, options);
+}
+
+Result<std::unique_ptr<StreamingCsvReader>> StreamingCsvReader::FromStream(
+    std::unique_ptr<std::istream> input, const Schema& schema,
+    const StreamingCsvOptions& options) {
+  return Make(std::move(input), &schema, options);
+}
+
+Result<std::unique_ptr<StreamingCsvReader>>
+StreamingCsvReader::FromStreamNumeric(std::unique_ptr<std::istream> input,
+                                      const StreamingCsvOptions& options) {
+  return Make(std::move(input), nullptr, options);
+}
+
+Status StreamingCsvReader::ReplaceSchema(Schema schema) {
+  if (schema.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "replacement schema has " + std::to_string(schema.size()) +
+        " attributes, reader has " + std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.at(i).name != schema_.at(i).name ||
+        schema.at(i).type != schema_.at(i).type ||
+        schema.at(i).categories != schema_.at(i).categories) {
+      return Status::InvalidArgument(
+          "replacement schema changes attribute " + std::to_string(i) +
+          " ('" + schema_.at(i).name + "'); only roles may change");
+    }
+  }
+  schema_ = std::move(schema);
+  return Status::Ok();
+}
+
+Result<bool> StreamingCsvReader::NextRecord(std::vector<std::string>* fields) {
+  while (true) {
+    TCM_ASSIGN_OR_RETURN(bool got, tokenizer_.Next(fields));
+    if (got) return true;
+    if (input_done_) return false;
+    chunk_.resize(options_.buffer_bytes);
+    input_->read(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+    std::streamsize n = input_->gcount();
+    if (n > 0) {
+      tokenizer_.Feed(
+          std::string_view(chunk_.data(), static_cast<size_t>(n)));
+    }
+    if (input_->bad()) {
+      return Status::IoError("error reading CSV input");
+    }
+    if (input_->eof()) {
+      tokenizer_.Finish();
+      input_done_ = true;
+    }
+  }
+}
+
+Result<size_t> StreamingCsvReader::ReadInto(Dataset* out, size_t max_rows) {
+  size_t appended = 0;
+  std::vector<std::string> fields;
+  while (appended < max_rows) {
+    TCM_ASSIGN_OR_RETURN(bool got, NextRecord(&fields));
+    if (!got) break;
+    if (IsBlankCsvRecord(fields)) continue;
+    TCM_ASSIGN_OR_RETURN(
+        Record record,
+        CsvFieldsToRecord(fields, schema_, tokenizer_.record_line()));
+    TCM_RETURN_IF_ERROR(out->Append(std::move(record)));
+    ++rows_read_;
+    ++appended;
+  }
+  return appended;
+}
+
+// --- StreamingCsvWriter ---
+
+Result<std::unique_ptr<StreamingCsvWriter>> StreamingCsvWriter::Open(
+    const std::string& path, const Schema& schema) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  std::string header;
+  AppendCsvHeader(schema, &header);
+  file.write(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!file.good()) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return std::unique_ptr<StreamingCsvWriter>(
+      new StreamingCsvWriter(std::move(file), path));
+}
+
+Status StreamingCsvWriter::WriteRows(const Dataset& batch) {
+  WriteCsvRows(batch, file_);
+  if (!file_.good()) {
+    return Status::IoError("write to '" + path_ + "' failed");
+  }
+  rows_written_ += batch.NumRecords();
+  return Status::Ok();
+}
+
+Status StreamingCsvWriter::Close() {
+  file_.flush();
+  if (!file_.good()) {
+    return Status::IoError("write to '" + path_ + "' failed");
+  }
+  file_.close();
+  return Status::Ok();
+}
+
+}  // namespace tcm

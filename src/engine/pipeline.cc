@@ -10,10 +10,9 @@
 
 namespace tcm {
 
-Status AssignRoles(Dataset* data,
-                   const std::vector<std::string>& quasi_identifiers,
-                   const std::string& confidential) {
-  const Schema& schema = data->schema();
+Result<Schema> SchemaWithRoles(
+    const Schema& schema, const std::vector<std::string>& quasi_identifiers,
+    const std::string& confidential) {
   auto describe_columns = [&schema]() {
     std::vector<std::string> names;
     names.reserve(schema.size());
@@ -45,6 +44,15 @@ Status AssignRoles(Dataset* data,
     }
     updated = std::move(with_role).value();
   }
+  return updated;
+}
+
+Status AssignRoles(Dataset* data,
+                   const std::vector<std::string>& quasi_identifiers,
+                   const std::string& confidential) {
+  TCM_ASSIGN_OR_RETURN(
+      Schema updated,
+      SchemaWithRoles(data->schema(), quasi_identifiers, confidential));
   return data->ReplaceSchema(std::move(updated));
 }
 

@@ -82,9 +82,15 @@ class PipelineRunner {
   ThreadPool pool_;
 };
 
-// Assigns kQuasiIdentifier / kConfidential roles to the named columns of
-// `data`, validating every name against the schema: unknown names fail
-// with a message listing the available columns. Exposed for the CLI tool.
+// Returns a copy of `schema` with kQuasiIdentifier / kConfidential roles
+// assigned to the named columns, validating every name: unknown names
+// fail with a message listing the available columns. Exposed for the
+// CLI tool's streaming path (roles on a reader's schema, no dataset).
+Result<Schema> SchemaWithRoles(
+    const Schema& schema, const std::vector<std::string>& quasi_identifiers,
+    const std::string& confidential);
+
+// Same, applied in place to a dataset's schema.
 Status AssignRoles(Dataset* data,
                    const std::vector<std::string>& quasi_identifiers,
                    const std::string& confidential);

@@ -1,0 +1,187 @@
+#include "engine/streaming.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/timer.h"
+#include "data/csv_stream.h"
+#include "engine/registry.h"
+#include "engine/sharded.h"
+#include "privacy/kanonymity.h"
+#include "privacy/tcloseness.h"
+
+namespace tcm {
+namespace {
+
+// Seed stride between windows; deliberately different from the per-shard
+// stride inside ShardedAnonymize. Window 0 adds nothing, so a run whose
+// stream fits in one window uses spec.seed exactly — the byte-identity
+// anchor against the in-memory PipelineRunner.
+constexpr uint64_t kWindowSeedStride = 0xC2B2AE3D27D4EB4FULL;
+
+}  // namespace
+
+Result<StreamingReport> StreamingPipelineRunner::Run(
+    RecordSource* source, const StreamingSpec& spec, const WindowSink& sink) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  // Fail on a bad algorithm name before consuming the (single-pass)
+  // stream.
+  if (!AlgorithmRegistry::BuiltIns().Contains(spec.algorithm)) {
+    return AlgorithmRegistry::BuiltIns().Find(spec.algorithm).status();
+  }
+  const size_t read_ahead = spec.k;
+  const size_t min_window = std::max<size_t>(spec.k, 2);
+  if (spec.max_resident_rows < read_ahead + min_window) {
+    return Status::InvalidArgument(
+        "max_resident_rows (" + std::to_string(spec.max_resident_rows) +
+        ") too small: need at least k + max(k, 2) = " +
+        std::to_string(read_ahead + min_window) + " rows for k = " +
+        std::to_string(spec.k));
+  }
+  const Schema& schema = source->schema();
+  if (schema.QuasiIdentifierIndices().empty()) {
+    return Status::InvalidArgument("source schema has no quasi-identifiers");
+  }
+  if (schema.ConfidentialIndices().empty()) {
+    return Status::InvalidArgument(
+        "source schema has no confidential attribute");
+  }
+
+  const size_t window_target = spec.max_resident_rows - read_ahead;
+  StreamingReport report;
+  report.threads = pool_.num_threads();
+  report.k_verified = spec.verify;  // stays true until a window fails
+  report.t_verified = spec.verify;
+
+  ShardedAnonymizeOptions options;
+  options.algorithm = spec.algorithm;
+  options.params.k = spec.k;
+  options.params.t = spec.t;
+  options.shard_size = spec.shard_size;
+
+  std::unique_ptr<StreamingCsvWriter> writer;
+  Dataset carry(schema);
+  bool exhausted = false;
+  WallTimer timer;
+  while (!exhausted) {
+    // Assemble the next window: carried read-ahead rows first, then fill
+    // from the stream, then read k rows ahead to learn whether this is
+    // the final window.
+    timer.Restart();
+    Dataset window(schema);
+    for (size_t row = 0; row < carry.NumRecords(); ++row) {
+      TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
+    }
+    carry = Dataset(schema);
+    if (window.NumRecords() < window_target) {
+      TCM_RETURN_IF_ERROR(
+          source->ReadInto(&window, window_target - window.NumRecords())
+              .status());
+    }
+    TCM_ASSIGN_OR_RETURN(size_t ahead, source->ReadInto(&carry, read_ahead));
+    if (ahead < read_ahead) {
+      // Stream exhausted inside the read-ahead: its rows are too few to
+      // anonymize alone, so they join this (final) window.
+      for (size_t row = 0; row < carry.NumRecords(); ++row) {
+        TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
+      }
+      carry = Dataset(schema);
+      exhausted = true;
+    }
+    report.read_seconds += timer.ElapsedSeconds();
+    report.peak_resident_rows =
+        std::max(report.peak_resident_rows,
+                 window.NumRecords() + carry.NumRecords());
+    if (window.empty()) break;
+
+    // Anonymize: the same shard fan-out the in-memory runner uses.
+    const size_t w = report.num_windows;
+    ShardedAnonymizeOptions window_options = options;
+    window_options.params.seed = spec.seed + kWindowSeedStride * w;
+    ShardedAnonymizeStats stats;
+    timer.Restart();
+    auto result = ShardedAnonymize(window, window_options, &pool_, &stats);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "window " + std::to_string(w) + ": " +
+                        result.status().message());
+    }
+    double anonymize_seconds = timer.ElapsedSeconds();
+    report.anonymize_seconds += anonymize_seconds;
+
+    StreamingWindowSummary summary;
+    summary.rows = window.NumRecords();
+    summary.clusters = result->partition.NumClusters();
+    summary.num_shards = stats.num_shards;
+    summary.final_merges = stats.final_merges;
+    summary.min_cluster_size = result->min_cluster_size;
+    summary.max_cluster_size = result->max_cluster_size;
+    summary.max_cluster_emd = result->max_cluster_emd;
+    summary.normalized_sse = result->normalized_sse;
+    summary.anonymize_seconds = anonymize_seconds;
+
+    // Verify: independent re-check of both guarantees per window.
+    if (spec.verify) {
+      timer.Restart();
+      TCM_ASSIGN_OR_RETURN(bool k_ok,
+                           IsKAnonymous(result->anonymized, spec.k));
+      TCM_ASSIGN_OR_RETURN(bool t_ok, IsTClose(result->anonymized, spec.t));
+      report.verify_seconds += timer.ElapsedSeconds();
+      report.k_verified = report.k_verified && k_ok;
+      report.t_verified = report.t_verified && t_ok;
+      if (!k_ok || !t_ok) {
+        return Status::Internal(
+            "window " + std::to_string(w) +
+            " failed re-verification: " + (k_ok ? "" : "k-anonymity ") +
+            (t_ok ? "" : "t-closeness"));
+      }
+    }
+
+    // Write: header once, then each window's release rows.
+    if (!spec.output_path.empty()) {
+      timer.Restart();
+      if (writer == nullptr) {
+        TCM_ASSIGN_OR_RETURN(
+            writer, StreamingCsvWriter::Open(spec.output_path, schema));
+      }
+      TCM_RETURN_IF_ERROR(writer->WriteRows(result->anonymized));
+      report.write_seconds += timer.ElapsedSeconds();
+    }
+    if (sink) {
+      TCM_RETURN_IF_ERROR(sink(result->anonymized, summary));
+    }
+
+    // Aggregate metrics (normalized SSE as a row-weighted mean).
+    report.total_rows += summary.rows;
+    report.num_shards += summary.num_shards;
+    report.final_merges += summary.final_merges;
+    report.min_cluster_size =
+        report.num_windows == 0
+            ? summary.min_cluster_size
+            : std::min(report.min_cluster_size, summary.min_cluster_size);
+    report.max_cluster_size =
+        std::max(report.max_cluster_size, summary.max_cluster_size);
+    report.max_cluster_emd =
+        std::max(report.max_cluster_emd, summary.max_cluster_emd);
+    report.normalized_sse += summary.normalized_sse *
+                             static_cast<double>(summary.rows);
+    report.windows.push_back(summary);
+    ++report.num_windows;
+  }
+
+  if (report.num_windows == 0) {
+    return Status::InvalidArgument("stream produced no records");
+  }
+  report.normalized_sse /= static_cast<double>(report.total_rows);
+  if (writer != nullptr) {
+    timer.Restart();
+    TCM_RETURN_IF_ERROR(writer->Close());
+    report.write_seconds += timer.ElapsedSeconds();
+  }
+  return report;
+}
+
+}  // namespace tcm

@@ -1,0 +1,123 @@
+#ifndef TCM_ENGINE_STREAMING_H_
+#define TCM_ENGINE_STREAMING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/record_source.h"
+#include "engine/thread_pool.h"
+
+namespace tcm {
+
+// Out-of-core execution of the anonymization pipeline: consume a
+// RecordSource window by window under a max_resident_rows budget, run
+// every window through the existing shard/thread-pool machinery
+// (ShardedAnonymize), then the same verify -> metrics -> write tail the
+// in-memory PipelineRunner runs. Datasets that never fit in memory
+// stream through in bounded space; each released window independently
+// satisfies k-anonymity and t-closeness (so their concatenation is
+// k-anonymous, and t-close per window against the window distribution).
+//
+// Memory model. The runner holds at most one window plus a k-row
+// read-ahead at a time:
+//   - a window is filled to max_resident_rows - k input rows;
+//   - k more rows are read ahead to decide whether the stream continues;
+//     if the stream ends inside the read-ahead, its rows (fewer than k,
+//     too few to anonymize alone) join the current window.
+// Resident input rows therefore never exceed max_resident_rows. (The
+// anonymized copy of the current window roughly doubles the footprint
+// while a window is in flight; the bound governs input rows.)
+//
+// Determinism. Window w derives its seed from spec.seed and w (window 0
+// uses spec.seed itself), and ShardedAnonymize is byte-identical for any
+// thread count — so streamed releases are too. When the whole stream
+// fits in one window (max_resident_rows >= rows + k), the release bytes
+// equal the in-memory PipelineRunner's for the same spec, which the
+// tests pin.
+struct StreamingSpec {
+  // Anonymize stage (same meaning as PipelineSpec).
+  std::string algorithm = "tclose_first";
+  size_t k = 5;
+  double t = 0.1;
+  uint64_t seed = 1;
+
+  // Rows per shard within a window; 0 disables sharding.
+  size_t shard_size = 4096;
+
+  // Resident input-row budget; must be at least k + max(k, 2).
+  size_t max_resident_rows = 100000;
+
+  // Re-check k-anonymity and t-closeness of every released window with
+  // the independent privacy evaluators; a failure is an error.
+  bool verify = true;
+
+  // Release CSV path (header once, then every window's rows); empty
+  // skips the write stage.
+  std::string output_path;
+};
+
+// Per-window measurements, in window order.
+struct StreamingWindowSummary {
+  size_t rows = 0;
+  size_t clusters = 0;
+  size_t num_shards = 1;
+  size_t final_merges = 0;
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+  double max_cluster_emd = 0.0;
+  double normalized_sse = 0.0;
+  double anonymize_seconds = 0.0;
+};
+
+struct StreamingReport {
+  size_t total_rows = 0;
+  size_t num_windows = 0;
+  // Largest number of input rows resident at once (window + read-ahead).
+  size_t peak_resident_rows = 0;
+  size_t threads = 1;
+  size_t num_shards = 0;     // total across windows
+  size_t final_merges = 0;   // total across windows
+  bool k_verified = false;   // all windows; stays false when verify is off
+  bool t_verified = false;
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+  double max_cluster_emd = 0.0;  // max over windows
+  double normalized_sse = 0.0;   // row-weighted mean over windows
+  double read_seconds = 0.0;
+  double anonymize_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double write_seconds = 0.0;
+  std::vector<StreamingWindowSummary> windows;
+};
+
+// Executes streaming specs on an owned thread pool (0 = one thread per
+// hardware thread).
+class StreamingPipelineRunner {
+ public:
+  // Called with every released window (after verification) in stream
+  // order: a custom sink for tests or non-CSV destinations.
+  using WindowSink =
+      std::function<Status(const Dataset& release,
+                           const StreamingWindowSummary& summary)>;
+
+  explicit StreamingPipelineRunner(size_t threads = 1) : pool_(threads) {}
+
+  size_t threads() const { return pool_.num_threads(); }
+  ThreadPool* pool() { return &pool_; }
+
+  // Drains `source` and anonymizes it window by window. The source's
+  // schema must already carry quasi-identifier/confidential roles.
+  Result<StreamingReport> Run(RecordSource* source, const StreamingSpec& spec,
+                              const WindowSink& sink = nullptr);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_ENGINE_STREAMING_H_

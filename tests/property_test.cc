@@ -1,0 +1,157 @@
+// Property-based invariant suite over the whole AlgorithmRegistry: for
+// EVERY registered algorithm, on randomized datasets across seeds, k and
+// t, the released table must pass the independent k-anonymity and
+// t-closeness verifiers in src/privacy/ (the verifiers are the oracle —
+// none of these tests knows how any algorithm works). Also pinned: the
+// partition covers each record exactly once with clusters of >= k, the
+// confidential column is released unchanged, and reruns are
+// deterministic.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/generator.h"
+#include "engine/registry.h"
+#include "microagg/partition.h"
+#include "privacy/kanonymity.h"
+#include "privacy/tcloseness.h"
+
+namespace tcm {
+namespace {
+
+// Canonical algorithm names: every registry entry minus the aliases
+// (which share factories with their targets).
+std::vector<std::string> CanonicalAlgorithms() {
+  std::vector<std::string> names;
+  for (const std::string& name : AlgorithmRegistry::BuiltIns().Names()) {
+    if (name == "kanon" || name == "tclose") continue;  // aliases
+    names.push_back(name);
+  }
+  return names;
+}
+
+struct PropertyCase {
+  std::string dataset;
+  Dataset data;
+};
+
+std::vector<PropertyCase> MakeDatasets(size_t n, uint64_t seed) {
+  std::vector<PropertyCase> cases;
+  cases.push_back({"uniform", MakeUniformDataset(n, 3, seed)});
+  cases.push_back({"clustered", MakeClusteredDataset(n, 2, 4, seed + 100)});
+  cases.push_back(
+      {"adult", MakeAdultLike({.num_records = n, .seed = seed + 200})});
+  return cases;
+}
+
+void CheckInvariants(const Dataset& data, const std::string& algorithm,
+                     const AlgorithmParams& params,
+                     const std::string& label) {
+  auto result = RunAlgorithm(data, algorithm, params);
+  ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+
+  // Partition: every record exactly once, clusters of >= k.
+  EXPECT_TRUE(ValidatePartition(result->partition, data.NumRecords(),
+                                params.k)
+                  .ok())
+      << label;
+
+  // Release shape: same records, same schema.
+  EXPECT_EQ(result->anonymized.NumRecords(), data.NumRecords()) << label;
+
+  // The confidential attribute is released unchanged (only QIs are
+  // masked) — t-closeness is about grouping, not perturbation.
+  for (size_t conf : data.schema().ConfidentialIndices()) {
+    for (size_t row = 0; row < data.NumRecords(); ++row) {
+      ASSERT_TRUE(data.cell(row, conf) ==
+                  result->anonymized.cell(row, conf))
+          << label << ": confidential cell changed at row " << row;
+    }
+  }
+
+  // The oracle: the independent verifiers must accept the release.
+  auto k_ok = IsKAnonymous(result->anonymized, params.k);
+  ASSERT_TRUE(k_ok.ok()) << label;
+  EXPECT_TRUE(*k_ok) << label << ": release is not " << params.k
+                     << "-anonymous";
+  auto t_ok = IsTClose(result->anonymized, params.t);
+  ASSERT_TRUE(t_ok.ok()) << label;
+  EXPECT_TRUE(*t_ok) << label << ": release is not " << params.t
+                     << "-close";
+}
+
+TEST(PropertyTest, RegistryCoversAllEightAlgorithms) {
+  EXPECT_EQ(CanonicalAlgorithms().size(), 8u);
+}
+
+TEST(PropertyTest, EveryAlgorithmSatisfiesVerifiersAcrossSeedsKT) {
+  for (const std::string& algorithm : CanonicalAlgorithms()) {
+    for (uint64_t seed : {1u, 2u}) {
+      for (const PropertyCase& pc : MakeDatasets(61, seed)) {
+        for (size_t k : {2u, 5u}) {
+          for (double t : {0.2, 0.4}) {
+            AlgorithmParams params;
+            params.k = k;
+            params.t = t;
+            params.seed = seed;
+            CheckInvariants(pc.data, algorithm, params,
+                            algorithm + "/" + pc.dataset + "/seed=" +
+                                std::to_string(seed) + "/k=" +
+                                std::to_string(k) + "/t=" +
+                                std::to_string(t));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PropertyTest, EveryAlgorithmSatisfiesVerifiersOnLargerOddSizes) {
+  for (const std::string& algorithm : CanonicalAlgorithms()) {
+    for (const PropertyCase& pc : MakeDatasets(163, 9)) {
+      AlgorithmParams params;
+      params.k = 4;
+      params.t = 0.25;
+      params.seed = 9;
+      CheckInvariants(pc.data, algorithm, params,
+                      algorithm + "/" + pc.dataset + "/n=163");
+    }
+  }
+}
+
+TEST(PropertyTest, TightTStillSatisfiesBothGuarantees) {
+  // A very small t forces giant clusters; the guarantees must survive
+  // the degenerate regime (paper-expected: one cluster is trivially
+  // t-close).
+  for (const std::string& algorithm : CanonicalAlgorithms()) {
+    AlgorithmParams params;
+    params.k = 3;
+    params.t = 0.01;
+    params.seed = 5;
+    CheckInvariants(MakeUniformDataset(60, 2, 5), algorithm, params,
+                    algorithm + "/tight-t");
+  }
+}
+
+TEST(PropertyTest, RerunsAreDeterministic) {
+  Dataset data = MakeClusteredDataset(80, 2, 3, 17);
+  for (const std::string& algorithm : CanonicalAlgorithms()) {
+    AlgorithmParams params;
+    params.k = 3;
+    params.t = 0.3;
+    params.seed = 21;
+    auto first = RunAlgorithm(data, algorithm, params);
+    auto second = RunAlgorithm(data, algorithm, params);
+    ASSERT_TRUE(first.ok() && second.ok()) << algorithm;
+    EXPECT_EQ(WriteCsvString(first->anonymized),
+              WriteCsvString(second->anonymized))
+        << algorithm << ": rerun changed the release";
+  }
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,84 @@
+// Million-row out-of-core cases, registered with ctest under the `slow`
+// label (and only when TCM_SLOW_TESTS=ON — excluded from the tier-1
+// default run; CI runs them in a dedicated job with `ctest -L slow`).
+//
+// This is the acceptance case for the streaming layer: a 1,000,000-row
+// generated stream must complete end to end with resident input rows
+// bounded by max_resident_rows, and every released window must
+// re-verify k-anonymous and t-close.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/record_source.h"
+#include "engine/streaming.h"
+
+namespace tcm {
+namespace {
+
+TEST(StreamingSlowTest, MillionRowStreamStaysWithinResidentBudget) {
+  constexpr size_t kRows = 1000000;
+  constexpr size_t kBudget = 100000;
+  auto source = MakeUniformSource(kRows, 3, 2016);
+  StreamingSpec spec;
+  spec.algorithm = "merge_chunked";
+  spec.k = 5;
+  spec.t = 0.2;
+  spec.seed = 2016;
+  spec.shard_size = 4096;
+  spec.max_resident_rows = kBudget;
+  spec.verify = true;
+
+  StreamingPipelineRunner runner(4);
+  auto report = runner.Run(source.get(), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_rows, kRows);
+  EXPECT_LE(report->peak_resident_rows, kBudget);
+  EXPECT_GE(report->num_windows, kRows / kBudget);
+  EXPECT_TRUE(report->k_verified);
+  EXPECT_TRUE(report->t_verified);
+  for (const StreamingWindowSummary& window : report->windows) {
+    EXPECT_GE(window.rows, spec.k);
+    EXPECT_LE(window.rows, kBudget);
+    EXPECT_GE(window.min_cluster_size, spec.k);
+  }
+}
+
+TEST(StreamingSlowTest, MillionRowStreamIsThreadInvariant) {
+  // Spot-check the determinism contract at scale: the per-window
+  // cluster structure (counts and extreme sizes) must not depend on the
+  // thread count. (Byte-level identity is pinned on smaller streams.)
+  std::vector<StreamingWindowSummary> reference;
+  for (size_t threads : {1u, 8u}) {
+    auto source = MakeUniformSource(500000, 2, 7);
+    StreamingSpec spec;
+    spec.algorithm = "merge_chunked";
+    spec.k = 5;
+    spec.t = 0.25;
+    spec.seed = 7;
+    spec.shard_size = 4096;
+    spec.max_resident_rows = 120000;
+    StreamingPipelineRunner runner(threads);
+    auto report = runner.Run(source.get(), spec);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (threads == 1u) {
+      reference = report->windows;
+      continue;
+    }
+    ASSERT_EQ(report->windows.size(), reference.size());
+    for (size_t w = 0; w < reference.size(); ++w) {
+      EXPECT_EQ(report->windows[w].rows, reference[w].rows) << w;
+      EXPECT_EQ(report->windows[w].clusters, reference[w].clusters) << w;
+      EXPECT_EQ(report->windows[w].min_cluster_size,
+                reference[w].min_cluster_size)
+          << w;
+      EXPECT_EQ(report->windows[w].max_cluster_size,
+                reference[w].max_cluster_size)
+          << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,407 @@
+// Tests for the out-of-core streaming execution layer: RecordSource and
+// its implementations, the streaming CSV reader/writer, and
+// StreamingPipelineRunner. The load-bearing properties: (1) streamed
+// and in-memory paths agree — a single-window streamed release is
+// byte-identical to the in-memory PipelineRunner release at any thread
+// count; (2) resident input rows never exceed the max_resident_rows
+// budget; (3) every released window independently re-verifies
+// k-anonymous and t-close.
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/csv_stream.h"
+#include "data/generator.h"
+#include "data/record_source.h"
+#include "engine/pipeline.h"
+#include "engine/streaming.h"
+#include "privacy/kanonymity.h"
+#include "privacy/tcloseness.h"
+
+namespace tcm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << "cannot open " << path;
+  std::string bytes;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, n);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+// ---------------------------------------------------------- RecordSource
+
+TEST(RecordSourceTest, DatasetSourceStreamsEveryRowInOrder) {
+  Dataset data = MakeUniformDataset(257, 3, 11);
+  DatasetSource source(&data);
+  Dataset drained(source.schema());
+  size_t batches = 0;
+  while (true) {
+    auto got = source.ReadInto(&drained, 100);
+    ASSERT_TRUE(got.ok());
+    if (*got == 0) break;
+    EXPECT_LE(*got, 100u);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 3u);  // 100 + 100 + 57
+  EXPECT_TRUE(drained == data);
+}
+
+TEST(RecordSourceTest, NextBatchReturnsBoundedBatches) {
+  Dataset data = MakeUniformDataset(10, 2, 3);
+  DatasetSource source(&data);
+  auto batch = source.NextBatch(4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->NumRecords(), 4u);
+  batch = source.NextBatch(100);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->NumRecords(), 6u);
+  batch = source.NextBatch(1);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(RecordSourceTest, UniformSourceMatchesBatchGeneratorRowForRow) {
+  Dataset batch = MakeUniformDataset(503, 4, 77);
+  auto source = MakeUniformSource(503, 4, 77);
+  Dataset streamed(source->schema());
+  ASSERT_TRUE(source->ReadInto(&streamed, 1000).ok());
+  EXPECT_TRUE(streamed == batch);
+}
+
+TEST(RecordSourceTest, ClusteredSourceMatchesBatchGeneratorRowForRow) {
+  Dataset batch = MakeClusteredDataset(211, 3, 5, 19);
+  auto source = MakeClusteredSource(211, 3, 5, 19);
+  // Drain in awkward batch sizes: chunking must not change the stream.
+  Dataset streamed(source->schema());
+  for (size_t want : {1u, 7u, 100u, 1000u}) {
+    ASSERT_TRUE(source->ReadInto(&streamed, want).ok());
+  }
+  EXPECT_TRUE(streamed == batch);
+}
+
+// --------------------------------------------------- StreamingCsvReader
+
+TEST(StreamingCsvReaderTest, StreamsFileInBatchesIdenticalToReadCsv) {
+  Dataset data = MakeAdultLike({.num_records = 300, .seed = 5});
+  const std::string path = TempPath("stream_reader_adult.csv");
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+
+  auto whole = ReadCsv(path, data.schema());
+  ASSERT_TRUE(whole.ok());
+
+  StreamingCsvOptions options;
+  options.buffer_bytes = 64;  // force many feed chunks
+  auto reader = StreamingCsvReader::Open(path, data.schema(), options);
+  ASSERT_TRUE(reader.ok());
+  Dataset streamed((*reader)->schema());
+  size_t batches = 0;
+  while (true) {
+    auto got = (*reader)->ReadInto(&streamed, 64);
+    ASSERT_TRUE(got.ok());
+    if (*got == 0) break;
+    ++batches;
+  }
+  EXPECT_GE(batches, 5u);
+  EXPECT_EQ((*reader)->rows_read(), 300u);
+  EXPECT_TRUE(streamed == *whole);
+  EXPECT_TRUE(streamed == data);
+}
+
+TEST(StreamingCsvReaderTest, OpenNumericInfersSchemaAndTakesRoles) {
+  Dataset data = MakeUniformDataset(50, 2, 9);
+  const std::string path = TempPath("stream_reader_numeric.csv");
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+
+  auto reader = StreamingCsvReader::OpenNumeric(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->schema().size(), 3u);
+  EXPECT_TRUE((*reader)->schema().QuasiIdentifierIndices().empty());
+
+  auto roled = SchemaWithRoles((*reader)->schema(), {"QI0", "QI1"}, "CONF");
+  ASSERT_TRUE(roled.ok());
+  ASSERT_TRUE((*reader)->ReplaceSchema(std::move(roled).value()).ok());
+  EXPECT_EQ((*reader)->schema().QuasiIdentifierIndices().size(), 2u);
+  EXPECT_EQ((*reader)->schema().ConfidentialIndices().size(), 1u);
+
+  // Roles don't change parsing: the rows still match.
+  Dataset streamed((*reader)->schema());
+  ASSERT_TRUE((*reader)->ReadInto(&streamed, 1000).ok());
+  EXPECT_EQ(streamed.NumRecords(), 50u);
+}
+
+TEST(StreamingCsvReaderTest, ReplaceSchemaRejectsRenamesAndRetypes) {
+  auto input = std::make_unique<std::istringstream>("a,b\n1,2\n");
+  auto reader = StreamingCsvReader::FromStreamNumeric(std::move(input));
+  ASSERT_TRUE(reader.ok());
+  Schema renamed({Attribute{"a", AttributeType::kNumeric,
+                            AttributeRole::kOther, {}},
+                  Attribute{"c", AttributeType::kNumeric,
+                            AttributeRole::kOther, {}}});
+  EXPECT_FALSE((*reader)->ReplaceSchema(renamed).ok());
+  Schema retyped({Attribute{"a", AttributeType::kNumeric,
+                            AttributeRole::kOther, {}},
+                  Attribute{"b", AttributeType::kNominal,
+                            AttributeRole::kOther, {"x"}}});
+  EXPECT_FALSE((*reader)->ReplaceSchema(retyped).ok());
+  Schema wrong_size({Attribute{"a", AttributeType::kNumeric,
+                               AttributeRole::kOther, {}}});
+  EXPECT_FALSE((*reader)->ReplaceSchema(wrong_size).ok());
+}
+
+TEST(StreamingCsvReaderTest, ReplaceSchemaRejectsCategoryChanges) {
+  Schema schema({Attribute{"cat", AttributeType::kNominal,
+                           AttributeRole::kOther, {"red", "green"}}});
+  auto input = std::make_unique<std::istringstream>("cat\nred\n");
+  auto reader = StreamingCsvReader::FromStream(std::move(input), schema);
+  ASSERT_TRUE(reader.ok());
+  // Reordered labels would silently remap codes mid-stream: rejected.
+  Schema reordered({Attribute{"cat", AttributeType::kNominal,
+                              AttributeRole::kOther, {"green", "red"}}});
+  EXPECT_FALSE((*reader)->ReplaceSchema(reordered).ok());
+  // Role-only change is fine.
+  Schema roled({Attribute{"cat", AttributeType::kNominal,
+                          AttributeRole::kConfidential, {"red", "green"}}});
+  EXPECT_TRUE((*reader)->ReplaceSchema(roled).ok());
+}
+
+// --------------------------------------------------- StreamingCsvWriter
+
+TEST(StreamingCsvWriterTest, WindowedWritesMatchWriteCsvBytes) {
+  Dataset data = MakeAdultLike({.num_records = 123, .seed = 31});
+  const std::string whole_path = TempPath("writer_whole.csv");
+  const std::string windowed_path = TempPath("writer_windowed.csv");
+  ASSERT_TRUE(WriteCsv(data, whole_path).ok());
+
+  auto writer = StreamingCsvWriter::Open(windowed_path, data.schema());
+  ASSERT_TRUE(writer.ok());
+  DatasetSource source(&data);
+  while (true) {
+    auto batch = source.NextBatch(40);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    ASSERT_TRUE((*writer)->WriteRows(*batch).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ((*writer)->rows_written(), 123u);
+  EXPECT_EQ(ReadFileBytes(windowed_path), ReadFileBytes(whole_path));
+}
+
+// ----------------------------------------------- StreamingPipelineRunner
+
+StreamingSpec BaseSpec() {
+  StreamingSpec spec;
+  spec.algorithm = "tclose_first";
+  spec.k = 4;
+  spec.t = 0.25;
+  spec.seed = 7;
+  spec.shard_size = 256;
+  spec.max_resident_rows = 100000;
+  return spec;
+}
+
+// The acceptance anchor: when the budget covers the whole stream, the
+// streamed release bytes equal the in-memory PipelineRunner's — checked
+// at two thread counts.
+TEST(StreamingPipelineRunnerTest, SingleWindowByteIdenticalToInMemory) {
+  Dataset data = MakeUniformDataset(1500, 3, 2016);
+  const std::string input_path = TempPath("stream_identity_in.csv");
+  ASSERT_TRUE(WriteCsv(data, input_path).ok());
+
+  for (size_t threads : {1u, 4u}) {
+    const std::string suffix = std::to_string(threads) + ".csv";
+    const std::string mem_path = TempPath("stream_identity_mem" + suffix);
+    PipelineSpec mem_spec;
+    mem_spec.input_path = input_path;
+    mem_spec.output_path = mem_path;
+    mem_spec.quasi_identifiers = {"QI0", "QI1", "QI2"};
+    mem_spec.confidential = "CONF";
+    mem_spec.algorithm = "tclose_first";
+    mem_spec.k = 4;
+    mem_spec.t = 0.25;
+    mem_spec.seed = 7;
+    mem_spec.shard_size = 256;
+    PipelineRunner mem_runner(threads);
+    ASSERT_TRUE(mem_runner.Run(mem_spec).ok());
+
+    const std::string str_path = TempPath("stream_identity_str" + suffix);
+    auto reader = StreamingCsvReader::OpenNumeric(input_path);
+    ASSERT_TRUE(reader.ok());
+    auto roled =
+        SchemaWithRoles((*reader)->schema(), {"QI0", "QI1", "QI2"}, "CONF");
+    ASSERT_TRUE(roled.ok());
+    ASSERT_TRUE((*reader)->ReplaceSchema(std::move(roled).value()).ok());
+    StreamingSpec spec = BaseSpec();
+    spec.output_path = str_path;
+    StreamingPipelineRunner runner(threads);
+    auto report = runner.Run(reader->get(), spec);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->num_windows, 1u);
+    EXPECT_TRUE(report->k_verified);
+    EXPECT_TRUE(report->t_verified);
+
+    EXPECT_EQ(ReadFileBytes(str_path), ReadFileBytes(mem_path))
+        << "streamed release differs from in-memory release at threads="
+        << threads;
+  }
+}
+
+TEST(StreamingPipelineRunnerTest, MultiWindowRespectsResidentBudget) {
+  constexpr size_t kRows = 3000;
+  constexpr size_t kBudget = 700;
+  auto source = MakeUniformSource(kRows, 3, 42);
+  StreamingSpec spec = BaseSpec();
+  spec.max_resident_rows = kBudget;
+  const std::string out_path = TempPath("stream_multiwindow.csv");
+  spec.output_path = out_path;
+
+  StreamingPipelineRunner runner(2);
+  auto report = runner.Run(source.get(), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->num_windows, 4u);
+  EXPECT_EQ(report->total_rows, kRows);
+  EXPECT_LE(report->peak_resident_rows, kBudget);
+  EXPECT_TRUE(report->k_verified);
+  EXPECT_TRUE(report->t_verified);
+  size_t sum = 0;
+  for (const StreamingWindowSummary& window : report->windows) {
+    EXPECT_GE(window.rows, spec.k);
+    EXPECT_LE(window.rows, kBudget);
+    sum += window.rows;
+  }
+  EXPECT_EQ(sum, kRows);
+
+  // The concatenation of per-window k-anonymous releases is k-anonymous.
+  auto release = ReadNumericCsv(out_path);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->NumRecords(), kRows);
+  ASSERT_TRUE(AssignRoles(&*release, {"QI0", "QI1", "QI2"}, "CONF").ok());
+  auto k_ok = IsKAnonymous(*release, spec.k);
+  ASSERT_TRUE(k_ok.ok());
+  EXPECT_TRUE(*k_ok);
+}
+
+TEST(StreamingPipelineRunnerTest, MultiWindowReleaseIsThreadInvariant) {
+  StreamingSpec spec = BaseSpec();
+  spec.max_resident_rows = 500;
+  std::string reference;
+  for (size_t threads : {1u, 4u}) {
+    auto source = MakeUniformSource(1700, 2, 13);
+    const std::string out_path =
+        TempPath("stream_invariant_" + std::to_string(threads) + ".csv");
+    spec.output_path = out_path;
+    StreamingPipelineRunner runner(threads);
+    auto report = runner.Run(source.get(), spec);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report->num_windows, 1u);
+    std::string bytes = ReadFileBytes(out_path);
+    if (threads == 1) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference);
+    }
+  }
+}
+
+TEST(StreamingPipelineRunnerTest, TailSmallerThanKJoinsFinalWindow) {
+  // 104-row budget with k=4 gives 100-row fill targets; 302 rows leave a
+  // 2-row tail that cannot be anonymized alone and must join the last
+  // window.
+  auto source = MakeUniformSource(302, 2, 99);
+  StreamingSpec spec = BaseSpec();
+  spec.max_resident_rows = 104;
+  StreamingPipelineRunner runner(1);
+  auto report = runner.Run(source.get(), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_rows, 302u);
+  EXPECT_LE(report->peak_resident_rows, 104u);
+  for (const StreamingWindowSummary& window : report->windows) {
+    EXPECT_GE(window.rows, spec.k);
+  }
+}
+
+TEST(StreamingPipelineRunnerTest, SinkSeesEveryWindowInOrder) {
+  auto source = MakeUniformSource(900, 2, 55);
+  StreamingSpec spec = BaseSpec();
+  spec.max_resident_rows = 300;
+  StreamingPipelineRunner runner(2);
+  size_t sink_rows = 0;
+  size_t sink_calls = 0;
+  auto report = runner.Run(
+      source.get(), spec,
+      [&](const Dataset& release, const StreamingWindowSummary& summary) {
+        EXPECT_EQ(release.NumRecords(), summary.rows);
+        sink_rows += release.NumRecords();
+        ++sink_calls;
+        return Status::Ok();
+      });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(sink_calls, report->num_windows);
+  EXPECT_EQ(sink_rows, report->total_rows);
+}
+
+TEST(StreamingPipelineRunnerTest, RejectsBudgetSmallerThanKFloor) {
+  auto source = MakeUniformSource(100, 2, 1);
+  StreamingSpec spec = BaseSpec();
+  spec.k = 10;
+  spec.max_resident_rows = 15;  // < k + max(k, 2) = 20
+  StreamingPipelineRunner runner(1);
+  auto report = runner.Run(source.get(), spec);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(StreamingPipelineRunnerTest, RejectsUnknownAlgorithmBeforeReading) {
+  auto source = MakeUniformSource(100, 2, 1);
+  StreamingSpec spec = BaseSpec();
+  spec.algorithm = "no_such_algorithm";
+  StreamingPipelineRunner runner(1);
+  auto report = runner.Run(source.get(), spec);
+  EXPECT_FALSE(report.ok());
+  // Nothing was consumed: the stream still yields its first row.
+  Dataset probe(source->schema());
+  auto got = source->ReadInto(&probe, 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(StreamingPipelineRunnerTest, RejectsSchemaWithoutRoles) {
+  Dataset data = MakeUniformDataset(50, 2, 3);
+  const std::string path = TempPath("stream_no_roles.csv");
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+  auto reader = StreamingCsvReader::OpenNumeric(path);  // roles all kOther
+  ASSERT_TRUE(reader.ok());
+  StreamingSpec spec = BaseSpec();
+  StreamingPipelineRunner runner(1);
+  auto report = runner.Run(reader->get(), spec);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(StreamingPipelineRunnerTest, EmptyStreamIsAnError) {
+  Dataset data(Schema({Attribute{"QI0", AttributeType::kNumeric,
+                                 AttributeRole::kQuasiIdentifier, {}},
+                       Attribute{"CONF", AttributeType::kNumeric,
+                                 AttributeRole::kConfidential, {}}}));
+  DatasetSource source(&data);
+  StreamingSpec spec = BaseSpec();
+  StreamingPipelineRunner runner(1);
+  auto report = runner.Run(&source, spec);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,94 @@
+# ctest golden script: run tcm_anonymize on the committed golden input
+# (tests/golden/input_mcd_120.csv) with a pinned flag set and require the
+# release bytes to EQUAL the committed golden release — in-memory and
+# --stream mode both. This pins the binary's output bytes end to end
+# (flag parsing, CSV I/O, role assignment, engine, verification), so a
+# refactor cannot silently change what the tool releases.
+#
+# Invoked as:
+#   cmake -DTCM_ANONYMIZE=<binary> -DGOLDEN_DIR=<tests/golden>
+#         -DWORK_DIR=<dir> -P anonymize_golden.cmake
+
+if(NOT TCM_ANONYMIZE OR NOT GOLDEN_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "TCM_ANONYMIZE, GOLDEN_DIR and WORK_DIR must be defined")
+endif()
+
+set(input "${GOLDEN_DIR}/input_mcd_120.csv")
+set(golden "${GOLDEN_DIR}/release_tclose_first_k5_t30.csv")
+foreach(file IN ITEMS "${input}" "${golden}")
+  if(NOT EXISTS "${file}")
+    message(FATAL_ERROR "missing golden file ${file}")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common_flags
+  --input "${input}"
+  --qi TAXINC,POTHVAL --confidential FEDTAX
+  --k 5 --t 0.3 --seed 9 --shard-size 64 --algorithm tclose_first)
+
+# In-memory path, 2 threads (thread count must not change the bytes).
+set(mem_out "${WORK_DIR}/golden_mem.csv")
+file(REMOVE "${mem_out}")
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}" ${common_flags} --threads 2
+    --output "${mem_out}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE errors)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "in-memory golden run exited with ${rc}\n${errors}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${mem_out}" "${golden}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "in-memory release bytes drifted from ${golden}; if intentional, "
+    "regenerate the goldens (TCM_REGENERATE_GOLDEN=1 golden_release_test) "
+    "and review the diff")
+endif()
+
+# Streaming path with a budget covering the whole input: byte-identical
+# to the same golden.
+set(stream_out "${WORK_DIR}/golden_stream.csv")
+file(REMOVE "${stream_out}")
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}" ${common_flags} --threads 2 --stream
+    --max-resident-rows 4096 --output "${stream_out}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE errors)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--stream golden run exited with ${rc}\n${errors}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${stream_out}" "${golden}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "--stream release bytes differ from the in-memory golden ${golden}")
+endif()
+
+# Streaming path with a tight budget: must still verify every window
+# (exit 0) and release every record, in bounded memory.
+set(window_out "${WORK_DIR}/golden_windows.csv")
+file(REMOVE "${window_out}")
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}" ${common_flags} --threads 2 --stream
+    --max-resident-rows 50 --report --output "${window_out}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE errors)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "windowed golden run exited with ${rc}\n${errors}")
+endif()
+if(NOT report MATCHES "verified           : k-anonymity=yes t-closeness=yes")
+  message(FATAL_ERROR "windowed run did not verify both guarantees:\n${report}")
+endif()
+file(STRINGS "${window_out}" release_lines)
+list(LENGTH release_lines release_line_count)
+if(NOT release_line_count EQUAL 121)
+  message(FATAL_ERROR
+    "windowed release has ${release_line_count} lines, expected 121")
+endif()
+
+message(STATUS "anonymize golden OK: releases match pinned bytes")

@@ -4,7 +4,8 @@
 //   tcm_anonymize --input data.csv --output release.csv
 //       --qi age,zipcode --confidential salary
 //       --k 5 --t 0.1 [--algorithm NAME] [--threads N] [--shard-size N]
-//       [--seed N] [--report] [--list-algorithms]
+//       [--seed N] [--stream] [--max-resident-rows N] [--report]
+//       [--list-algorithms]
 //
 // The input must be a numeric CSV with a header row. Columns named in
 // --qi become quasi-identifiers, the --confidential column drives
@@ -14,6 +15,13 @@
 // shard, 0 disables) and the shards are anonymized in parallel on
 // --threads workers. The release is byte-identical for any thread
 // count. Exit code 0 only when the release was produced AND re-verified.
+//
+// --stream switches to the out-of-core path: the CSV is consumed in
+// bounded memory (at most --max-resident-rows input rows resident),
+// anonymized window by window through the same engine, and each window
+// is re-verified k-anonymous and t-close before its rows are appended
+// to the output. With --max-resident-rows covering the whole input the
+// streamed release is byte-identical to the in-memory one.
 
 #include <cstdint>
 #include <cstdio>
@@ -22,8 +30,10 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "data/csv_stream.h"
 #include "engine/pipeline.h"
 #include "engine/registry.h"
+#include "engine/streaming.h"
 
 namespace {
 
@@ -38,6 +48,8 @@ struct CliOptions {
   size_t threads = 1;
   size_t shard_size = 4096;
   uint64_t seed = 1;
+  bool stream = false;
+  size_t max_resident_rows = 200000;
   bool report = false;
   bool list_algorithms = false;
 };
@@ -48,7 +60,8 @@ void PrintUsage() {
       "usage: tcm_anonymize --input FILE --output FILE --qi A,B,...\n"
       "                     --confidential C [--k N] [--t X]\n"
       "                     [--algorithm NAME] [--threads N]\n"
-      "                     [--shard-size N] [--seed N] [--report]\n"
+      "                     [--shard-size N] [--seed N] [--stream]\n"
+      "                     [--max-resident-rows N] [--report]\n"
       "                     [--list-algorithms]\n");
 }
 
@@ -92,6 +105,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     };
     if (flag == "--report") {
       options->report = true;
+    } else if (flag == "--stream") {
+      options->stream = true;
+    } else if (flag == "--max-resident-rows") {
+      if (!ParseSizeFlag("--max-resident-rows", next(),
+                         &options->max_resident_rows)) {
+        return false;
+      }
     } else if (flag == "--list-algorithms") {
       options->list_algorithms = true;
     } else if (flag == "--input") {
@@ -146,6 +166,75 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
          !options->qi.empty() && !options->confidential.empty();
 }
 
+// Out-of-core path: stream the CSV window by window through the engine
+// under the --max-resident-rows budget.
+int RunStreaming(const CliOptions& options) {
+  auto reader = tcm::StreamingCsvReader::OpenNumeric(options.input);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().message().c_str());
+    return 1;
+  }
+  auto schema = tcm::SchemaWithRoles((*reader)->schema(), options.qi,
+                                     options.confidential);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().message().c_str());
+    return 1;
+  }
+  if (auto replaced = (*reader)->ReplaceSchema(std::move(schema).value());
+      !replaced.ok()) {
+    std::fprintf(stderr, "%s\n", replaced.message().c_str());
+    return 1;
+  }
+
+  tcm::StreamingSpec spec;
+  spec.algorithm = options.algorithm;
+  spec.k = options.k;
+  spec.t = options.t;
+  spec.seed = options.seed;
+  spec.shard_size = options.shard_size;
+  spec.max_resident_rows = options.max_resident_rows;
+  spec.verify = true;
+  spec.output_path = options.output;
+
+  tcm::StreamingPipelineRunner runner(options.threads);
+  auto report = runner.Run(reader->get(), spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().message().c_str());
+    return 1;
+  }
+
+  if (options.report) {
+    std::printf("records            : %zu\n", report->total_rows);
+    std::printf("algorithm          : %s (streamed)\n",
+                options.algorithm.c_str());
+    std::printf("threads            : %zu\n", report->threads);
+    std::printf("windows            : %zu (budget %zu rows, peak resident "
+                "%zu)\n",
+                report->num_windows, options.max_resident_rows,
+                report->peak_resident_rows);
+    std::printf("shards             : %zu (merges to restore t: %zu)\n",
+                report->num_shards, report->final_merges);
+    std::printf("cluster size       : min=%zu max=%zu\n",
+                report->min_cluster_size, report->max_cluster_size);
+    std::printf("max cluster EMD    : %.4f (t=%.4f, per window)\n",
+                report->max_cluster_emd, options.t);
+    std::printf("normalized SSE     : %.6f (row-weighted over windows)\n",
+                report->normalized_sse);
+    std::printf("verified           : k-anonymity=%s t-closeness=%s "
+                "(every window)\n",
+                report->k_verified ? "yes" : "no",
+                report->t_verified ? "yes" : "no");
+    std::printf(
+        "elapsed            : %.3f s (read %.3f, anonymize %.3f, "
+        "verify %.3f, write %.3f)\n",
+        report->read_seconds + report->anonymize_seconds +
+            report->verify_seconds + report->write_seconds,
+        report->read_seconds, report->anonymize_seconds,
+        report->verify_seconds, report->write_seconds);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,6 +255,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", fn.status().message().c_str());
     return 1;
   }
+
+  if (options.stream) return RunStreaming(options);
 
   tcm::PipelineSpec spec;
   spec.input_path = options.input;
