@@ -22,8 +22,12 @@ function(tcm_apply_compile_options target)
        AND CMAKE_CXX_COMPILER_VERSION VERSION_GREATER_EQUAL 12
        AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
       # GCC 12 emits spurious -Wrestrict errors from libstdc++'s inlined
-      # std::string operator+ at -O3 (GCC PR105651).
-      target_compile_options(${target} PRIVATE -Wno-restrict)
+      # std::string operator+ at -O3 (GCC PR105651), and spurious
+      # -Wmaybe-uninitialized reads of std::optional payloads whose
+      # members hold vectors (GCC PR105562 family; hit by
+      # std::optional<JobSweep> in the Job API).
+      target_compile_options(${target} PRIVATE
+        -Wno-restrict -Wno-maybe-uninitialized)
     endif()
     if(TCM_WERROR)
       target_compile_options(${target} PRIVATE -Werror)

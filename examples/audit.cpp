@@ -18,24 +18,25 @@
 #include "privacy/ntcloseness.h"
 #include "privacy/psensitive.h"
 #include "privacy/tcloseness.h"
-#include "tclose/anonymizer.h"
-#include "tclose/report_io.h"
+#include "tcm/api.h"
 #include "utility/pmse.h"
 #include "utility/query.h"
 #include "utility/sse.h"
 
 int main() {
-  // Produce a release to audit (a real auditor would load two CSVs).
+  // Produce a release to audit through the Job API (a real auditor would
+  // load two CSVs; the report's JSON doubles as the producer-side trail).
   tcm::Dataset original = tcm::MakeMcdDataset();
-  tcm::AnonymizerOptions options;
-  options.k = 5;
-  options.t = 0.1;
-  auto produced = tcm::Anonymize(original, options);
+  tcm::JobSpec spec;
+  spec.algorithm.k = 5;
+  spec.algorithm.t = 0.1;
+  spec.execution.shard_size = 0;
+  auto produced = tcm::RunJob(original, spec);
   if (!produced.ok()) {
     std::fprintf(stderr, "%s\n", produced.status().ToString().c_str());
     return 1;
   }
-  const tcm::Dataset& release = produced->anonymized;
+  const tcm::Dataset& release = *produced->release;
 
   std::printf("=== privacy models =====================================\n");
   auto k_anon = tcm::EvaluateKAnonymity(release);
@@ -68,7 +69,8 @@ int main() {
   auto linkage = tcm::EvaluateLinkageRisk(original, release);
   if (linkage.ok()) {
     std::printf("record linkage     : E[reid] = %.4f (1/k bound %.4f)\n",
-                linkage->expected_reidentification_rate, 1.0 / options.k);
+                linkage->expected_reidentification_rate,
+                1.0 / static_cast<double>(spec.algorithm.k));
   }
   auto interval = tcm::EvaluateIntervalDisclosure(original, release, 0.01);
   if (interval.ok()) {
@@ -93,6 +95,6 @@ int main() {
   }
 
   std::printf("\n=== machine-readable ===================================\n");
-  std::printf("%s\n", tcm::ReportToJson(*produced, options).c_str());
+  std::printf("%s\n", produced->ToJsonText().c_str());
   return 0;
 }

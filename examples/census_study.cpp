@@ -1,8 +1,11 @@
 // Census study: reproduces the paper's Section 8.1 setting on the
 // synthetic census-like data (MCD: moderately correlated confidential
 // attribute; HCD: highly correlated). For a few (k, t) combinations it
-// compares the three algorithms on achieved cluster sizes, t-closeness,
-// utility (normalized SSE, Eq. 5) and empirical re-identification risk.
+// compares the three paper algorithms — addressed by their registry
+// names through the Job API — on achieved cluster sizes, t-closeness,
+// utility (normalized SSE, Eq. 5) and empirical re-identification risk
+// (which needs the release itself, so each cell runs as its own
+// in-memory job rather than a sweep).
 //
 //   ./build/examples/census_study
 
@@ -12,38 +15,38 @@
 #include "data/generator.h"
 #include "data/stats.h"
 #include "privacy/linkage.h"
-#include "tclose/anonymizer.h"
+#include "tcm/api.h"
 
 namespace {
 
 void RunOne(const char* dataset_name, const tcm::Dataset& data, size_t k,
             double t) {
-  static constexpr tcm::TCloseAlgorithm kAlgorithms[] = {
-      tcm::TCloseAlgorithm::kMicroaggregationMerge,
-      tcm::TCloseAlgorithm::kKAnonymityFirst,
-      tcm::TCloseAlgorithm::kTClosenessFirst,
+  static constexpr const char* kAlgorithms[] = {
+      "merge",        // Algorithm 1: microaggregation + merge
+      "kanon_first",  // Algorithm 2: k-anonymity first
+      "tclose_first", // Algorithm 3: t-closeness first
   };
-  for (tcm::TCloseAlgorithm algorithm : kAlgorithms) {
-    tcm::AnonymizerOptions options;
-    options.k = k;
-    options.t = t;
-    options.algorithm = algorithm;
-    auto result = tcm::Anonymize(data, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n",
-                   tcm::TCloseAlgorithmName(algorithm),
-                   result.status().ToString().c_str());
+  for (const char* algorithm : kAlgorithms) {
+    tcm::JobSpec spec;
+    spec.algorithm.name = algorithm;
+    spec.algorithm.k = k;
+    spec.algorithm.t = t;
+    spec.execution.shard_size = 0;  // study the unsharded algorithms
+    spec.verify = false;            // measured below via the release
+    auto report = tcm::RunJob(data, spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algorithm,
+                   report.status().ToString().c_str());
       continue;
     }
-    auto linkage = tcm::EvaluateLinkageRisk(data, result->anonymized);
+    auto linkage = tcm::EvaluateLinkageRisk(data, *report->release);
     double reid = linkage.ok() ? linkage->expected_reidentification_rate : -1;
     std::printf(
         "%-4s k=%-3zu t=%-5.2f %-24s size(min/avg)=%zu/%.1f  maxEMD=%.4f  "
         "SSE=%.4f  reid=%.4f  %.2fs\n",
-        dataset_name, k, t, tcm::TCloseAlgorithmName(algorithm),
-        result->min_cluster_size, result->average_cluster_size,
-        result->max_cluster_emd, result->normalized_sse, reid,
-        result->elapsed_seconds);
+        dataset_name, k, t, algorithm, report->min_cluster_size,
+        report->average_cluster_size, report->max_cluster_emd,
+        report->normalized_sse, reid, report->anonymize_seconds);
   }
 }
 

@@ -1,29 +1,27 @@
-// End-to-end CSV pipeline on the parallel engine: the workflow of a data
-// custodian with a parameter sweep.
+// End-to-end CSV workflow on the Job API: a data custodian picking an
+// algorithm by sweep, then publishing through the same facade.
 //  1. Export an original microdata set to CSV.
-//  2. Fan a batch of jobs — every algorithm in the registry — across a
-//     thread pool and compare their releases.
-//  3. Re-run the winner through the declarative PipelineRunner
-//     (load -> shard -> anonymize -> verify -> metrics -> write), which
-//     re-loads the CSV, assigns roles by column name, verifies the
-//     release and writes it back out.
+//  2. Run a sweep JobSpec — every algorithm in the registry over the
+//     same (k, t) — in one RunJob call and compare the outcomes.
+//  3. Publish the winner with a second JobSpec that reads the CSV back,
+//     assigns roles by column name, re-verifies the release and writes
+//     both the release CSV and a machine-readable JSON report.
 //
 //   ./build/examples/example_csv_pipeline [output_dir]
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "data/csv.h"
 #include "data/generator.h"
-#include "engine/batch.h"
-#include "engine/pipeline.h"
 #include "engine/registry.h"
+#include "tcm/api.h"
 
 int main(int argc, char** argv) {
   std::string dir = argc > 1 ? argv[1] : "/tmp";
   const std::string original_path = dir + "/census_original.csv";
   const std::string release_path = dir + "/census_release.csv";
+  const std::string report_path = dir + "/census_report.json";
 
   // 1. Export the original data.
   tcm::Dataset data = tcm::MakeMcdDataset();
@@ -35,41 +33,43 @@ int main(int argc, char** argv) {
               data.NumRecords(), data.NumAttributes(),
               original_path.c_str());
 
-  // 2. One batch job per registered algorithm (paper algorithms AND
+  // 2. One sweep cell per registered algorithm (paper algorithms AND
   //    baselines — the registry makes them interchangeable), fanned
-  //    across a 4-worker pool.
+  //    across a 4-worker pool by a single JobSpec.
   constexpr size_t kK = 4;
   constexpr double kT = 0.12;
-  tcm::ThreadPool pool(4);
-  std::vector<tcm::BatchJob> jobs;
+  tcm::JobSpec sweep_spec;
+  sweep_spec.algorithm.k = kK;
+  sweep_spec.algorithm.t = kT;
+  sweep_spec.execution.threads = 4;
+  sweep_spec.sweep.emplace();
   for (const std::string& name :
        tcm::AlgorithmRegistry::BuiltIns().Names()) {
     if (name == "kanon" || name == "tclose") continue;  // CLI aliases
-    tcm::BatchJob job;
-    job.label = name;
-    job.data = &data;
-    job.algorithm = name;
-    job.params.k = kK;
-    job.params.t = kT;
-    jobs.push_back(std::move(job));
+    sweep_spec.sweep->algorithms.push_back(name);
   }
-  std::vector<tcm::BatchOutcome> outcomes = tcm::RunBatch(jobs, &pool);
+  auto swept = tcm::RunJob(data, sweep_spec);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 swept.status().ToString().c_str());
+    return 1;
+  }
 
   std::string best_algorithm;
   double best_sse = 2.0;
-  for (const tcm::BatchOutcome& outcome : outcomes) {
-    if (!outcome.status.ok()) {
-      std::printf("  %-18s failed: %s\n", outcome.label.c_str(),
-                  outcome.status.message().c_str());
+  for (const tcm::SweepOutcome& outcome : swept->sweep) {
+    if (!outcome.error_code.empty()) {
+      std::printf("  %-28s failed (%s): %s\n", outcome.label.c_str(),
+                  outcome.error_code.c_str(), outcome.error.c_str());
       continue;
     }
-    std::printf("  %-18s SSE=%.4f maxEMD=%.4f clusters=%zu (%.3fs)\n",
+    std::printf("  %-28s SSE=%.4f maxEMD=%.4f clusters=%zu (%.3fs)\n",
                 outcome.label.c_str(), outcome.normalized_sse,
                 outcome.max_cluster_emd, outcome.clusters,
                 outcome.elapsed_seconds);
     if (outcome.normalized_sse < best_sse) {
       best_sse = outcome.normalized_sse;
-      best_algorithm = outcome.label;
+      best_algorithm = outcome.algorithm;
     }
   }
   if (best_algorithm.empty()) {
@@ -80,27 +80,30 @@ int main(int argc, char** argv) {
 
   // 3. Publish the winner through the full pipeline. Roles are assigned
   //    by column name from the CSV header, the release is re-verified
-  //    (k-anonymity + t-closeness) before the write stage runs.
-  tcm::PipelineSpec spec;
-  spec.input_path = original_path;
-  spec.output_path = release_path;
-  spec.quasi_identifiers = {"TAXINC", "POTHVAL"};
-  spec.confidential = "FEDTAX";
-  spec.algorithm = best_algorithm;
-  spec.k = kK;
-  spec.t = kT;
-  spec.shard_size = 0;  // 1080 records: no need to shard
-  tcm::PipelineRunner runner(/*threads=*/2);
-  auto report = runner.Run(spec);
-  if (!report.ok()) {
+  //    (k-anonymity + t-closeness) before the write stage runs, and the
+  //    JSON report lands next to the release for the audit trail.
+  tcm::JobSpec publish;
+  publish.input.kind = tcm::InputKind::kCsvPath;
+  publish.input.path = original_path;
+  publish.roles.quasi_identifiers = {"TAXINC", "POTHVAL"};
+  publish.roles.confidential = "FEDTAX";
+  publish.algorithm.name = best_algorithm;
+  publish.algorithm.k = kK;
+  publish.algorithm.t = kT;
+  publish.execution.threads = 2;
+  publish.execution.shard_size = 0;  // 1080 records: no need to shard
+  publish.output.release_path = release_path;
+  publish.output.report_path = report_path;
+  auto published = tcm::RunJob(publish);
+  if (!published.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
-                 report.status().ToString().c_str());
+                 published.status().ToString().c_str());
     return 1;
   }
   std::printf(
       "released %s (normalized SSE %.4f, verified %.2f-close, "
-      "%zu shard(s) on %zu thread(s))\n",
-      release_path.c_str(), report->result.normalized_sse, kT,
-      report->num_shards, report->threads);
+      "%zu shard(s) on %zu thread(s)); report at %s\n",
+      release_path.c_str(), published->normalized_sse, kT,
+      published->num_shards, published->threads, report_path.c_str());
   return 0;
 }

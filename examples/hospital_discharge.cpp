@@ -1,8 +1,9 @@
 // Hospital discharge scenario: the paper's scalability data set (7
 // quasi-identifiers, one charge attribute, very weak QI<->confidential
-// dependence). Demonstrates anonymizing a larger release and evaluating
-// statistical fidelity: preserved means/variances/correlations and the
-// accuracy of random subdomain (range) COUNT queries.
+// dependence). Demonstrates anonymizing a larger release through the Job
+// API — sharded across a thread pool — and evaluating statistical
+// fidelity: preserved means/variances/correlations and the accuracy of
+// random subdomain (range) COUNT queries.
 //
 //   ./build/examples/hospital_discharge [num_records]
 
@@ -11,7 +12,7 @@
 
 #include "data/generator.h"
 #include "data/stats.h"
-#include "tclose/anonymizer.h"
+#include "tcm/api.h"
 #include "utility/info_loss.h"
 #include "utility/query.h"
 
@@ -26,24 +27,27 @@ int main(int argc, char** argv) {
   std::printf("patient-discharge-like: n=%zu, QI R=%.3f\n", data.NumRecords(),
               tcm::QiConfidentialCorrelation(data));
 
-  tcm::AnonymizerOptions options;
-  options.k = 3;
-  options.t = 0.1;
-  options.algorithm = tcm::TCloseAlgorithm::kTClosenessFirst;
-  auto result = tcm::Anonymize(data, options);
-  if (!result.ok()) {
+  tcm::JobSpec spec;
+  spec.algorithm.name = "tclose_first";
+  spec.algorithm.k = 3;
+  spec.algorithm.t = 0.1;
+  spec.execution.threads = 4;
+  auto report = tcm::RunJob(data, spec);
+  if (!report.ok()) {
     std::fprintf(stderr, "anonymization failed: %s\n",
-                 result.status().ToString().c_str());
+                 report.status().ToString().c_str());
     return 1;
   }
   std::printf("clusters=%zu  size(min/avg/max)=%zu/%.1f/%zu  maxEMD=%.4f  "
-              "SSE=%.4f  %.2fs\n\n",
-              result->partition.NumClusters(), result->min_cluster_size,
-              result->average_cluster_size, result->max_cluster_size,
-              result->max_cluster_emd, result->normalized_sse,
-              result->elapsed_seconds);
+              "SSE=%.4f  %zu shard(s) on %zu thread(s)  %.2fs\n\n",
+              report->clusters, report->min_cluster_size,
+              report->average_cluster_size, report->max_cluster_size,
+              report->max_cluster_emd, report->normalized_sse,
+              report->num_shards, report->threads,
+              report->anonymize_seconds);
+  const tcm::Dataset& release = *report->release;
 
-  auto stats = tcm::EvaluateStatisticsPreservation(data, result->anonymized);
+  auto stats = tcm::EvaluateStatisticsPreservation(data, release);
   if (stats.ok()) {
     std::printf("%-16s %12s %12s %12s\n", "QI attribute", "|d mean|",
                 "var ratio", "range ratio");
@@ -61,8 +65,7 @@ int main(int argc, char** argv) {
   tcm::RangeQueryOptions query_options;
   query_options.num_queries = 300;
   query_options.selectivity = 0.4;
-  auto queries = tcm::EvaluateRangeQueries(data, result->anonymized,
-                                           query_options);
+  auto queries = tcm::EvaluateRangeQueries(data, release, query_options);
   if (queries.ok()) {
     std::printf("range COUNT queries (%zu, selectivity %.0f%%): "
                 "mean abs err=%.2f  mean rel err=%.2f%%  max abs err=%.0f\n",

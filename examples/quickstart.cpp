@@ -1,64 +1,58 @@
-// Quickstart: anonymize a small synthetic microdata set so that it is both
-// 5-anonymous and 0.15-close, then verify the guarantees with the privacy
-// checkers. Build and run:
+// Quickstart: anonymize a small synthetic microdata set so that it is
+// both 5-anonymous and 0.15-close, using the public Job API (tcm/api.h)
+// — a JobSpec in, a RunReport out — then independently verify the
+// guarantees the way an auditor would. Build and run:
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "data/generator.h"
-#include "privacy/kanonymity.h"
-#include "privacy/tcloseness.h"
-#include "tclose/anonymizer.h"
+#include "tcm/api.h"
 
 int main() {
-  // 1. Get a microdata set. Real applications load a CSV (see the
-  //    csv_pipeline example); here we synthesize 500 records with three
-  //    quasi-identifiers and one confidential attribute.
-  tcm::Dataset data = tcm::MakeUniformDataset(/*num_records=*/500,
-                                              /*num_quasi_identifiers=*/3,
-                                              /*seed=*/42);
+  // 1. Describe the job. The same spec could have come from a job.json
+  //    (JobSpec::FromJsonFile) — this is the programmatic spelling.
+  //    "uniform" synthesizes 500 records with three quasi-identifiers
+  //    and one confidential attribute; real applications point
+  //    input.kind at a CSV instead (see the csv_pipeline example).
+  tcm::JobSpec spec;
+  spec.input.kind = tcm::InputKind::kSynthetic;
+  spec.input.generator = "uniform";
+  spec.input.rows = 500;
+  spec.input.quasi_identifiers = 3;
+  spec.input.seed = 42;
+  spec.algorithm.name = "tclose_first";  // Algorithm 3: best utility
+  spec.algorithm.k = 5;
+  spec.algorithm.t = 0.15;
+  spec.verify = true;
 
-  // 2. Configure the anonymizer: k-anonymity level, t-closeness level and
-  //    which of the paper's three algorithms to run. t-closeness-first
-  //    (Algorithm 3) is the recommended default: best utility, fastest.
-  tcm::AnonymizerOptions options;
-  options.k = 5;
-  options.t = 0.15;
-  options.algorithm = tcm::TCloseAlgorithm::kTClosenessFirst;
-
-  auto result = tcm::Anonymize(data, options);
-  if (!result.ok()) {
+  // 2. Run it. The report carries the measurements and (for in-memory
+  //    jobs) the release itself.
+  auto report = tcm::RunJob(spec);
+  if (!report.ok()) {
     std::fprintf(stderr, "anonymization failed: %s\n",
-                 result.status().ToString().c_str());
+                 report.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("algorithm          : %s\n",
-              tcm::TCloseAlgorithmName(options.algorithm));
-  std::printf("clusters           : %zu\n",
-              result->partition.NumClusters());
+  std::printf("algorithm          : %s\n", report->algorithm.c_str());
+  std::printf("clusters           : %zu\n", report->clusters);
   std::printf("cluster sizes      : min=%zu avg=%.2f max=%zu\n",
-              result->min_cluster_size, result->average_cluster_size,
-              result->max_cluster_size);
-  std::printf("effective k (Eq.3) : %zu\n", result->effective_k);
+              report->min_cluster_size, report->average_cluster_size,
+              report->max_cluster_size);
   std::printf("max cluster EMD    : %.4f (required <= %.2f)\n",
-              result->max_cluster_emd, options.t);
-  std::printf("normalized SSE     : %.4f\n", result->normalized_sse);
-  std::printf("elapsed            : %.3f s\n", result->elapsed_seconds);
+              report->max_cluster_emd, spec.algorithm.t);
+  std::printf("normalized SSE     : %.4f\n", report->normalized_sse);
+  std::printf("elapsed            : %.3f s\n", report->total_seconds);
 
-  // 3. Independently verify the release: the checkers look only at the
-  //    anonymized data set, exactly like an auditor would.
-  auto k_anon = tcm::IsKAnonymous(result->anonymized, options.k);
-  auto t_close = tcm::IsTClose(result->anonymized, options.t);
-  if (!k_anon.ok() || !t_close.ok()) {
-    std::fprintf(stderr, "verification failed to run\n");
-    return 1;
-  }
-  std::printf("verified %zu-anonymous : %s\n", options.k,
-              *k_anon ? "yes" : "NO");
-  std::printf("verified %.2f-close    : %s\n", options.t,
-              *t_close ? "yes" : "NO");
-  return (*k_anon && *t_close) ? 0 : 1;
+  // 3. Independently re-verify the release: VerifyRelease looks only at
+  //    the anonymized data set and answers with a structured error code
+  //    (kPrivacyViolation) instead of a string to match on.
+  tcm::Status audit = tcm::VerifyRelease(*report->release, spec.algorithm.k,
+                                         spec.algorithm.t);
+  std::printf("verified %zu-anonymous and %.2f-close: %s\n",
+              spec.algorithm.k, spec.algorithm.t,
+              audit.ok() ? "yes" : audit.ToString().c_str());
+  return audit.ok() ? 0 : 1;
 }

@@ -1,0 +1,151 @@
+#ifndef TCM_API_JOB_H_
+#define TCM_API_JOB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace tcm {
+
+class Dataset;
+class RecordSource;
+
+// ---------------------------------------------------------------------------
+// JobSpec: the one versioned description of an anonymization job, the
+// public API boundary of this library. It subsumes the engine's sibling
+// entry points — PipelineSpec (in-memory), StreamingSpec (out-of-core)
+// and RunBatch (parameter sweeps) — which remain thin internals the
+// facade lowers onto (api/runner.h). A JobSpec round-trips through JSON
+// (FromJson/ToJson) with strict unknown-key and type validation, so
+// config-driven deployments, services and the CLI all speak the same
+// schema. See README.md ("API") for the documented job.json layout.
+// ---------------------------------------------------------------------------
+
+// Where the records come from. kCsvPath and kSynthetic serialize to
+// JSON; kDataset and kRecordSource are programmatic-only (in-process
+// callers handing over live objects) and are rejected by FromJson.
+enum class InputKind { kCsvPath, kSynthetic, kDataset, kRecordSource };
+
+// How the job executes: fully in memory through PipelineRunner, or
+// window by window through StreamingPipelineRunner under a bounded
+// resident-row budget.
+enum class ExecutionMode { kInMemory, kStreaming };
+
+const char* InputKindName(InputKind kind);
+const char* ExecutionModeName(ExecutionMode mode);
+
+struct JobInput {
+  InputKind kind = InputKind::kCsvPath;
+
+  // kCsvPath: numeric CSV with a header row. Relative paths resolve
+  // against the process working directory.
+  std::string path;
+
+  // kSynthetic: one of the library's generators —
+  //   "uniform", "clustered"           (streaming-capable)
+  //   "mcd", "hcd", "adult", "patient_discharge"  (in-memory only)
+  // rows/quasi_identifiers/modes/seed parameterize them; generators that
+  // fix a parameter (e.g. mcd's schema) ignore the inapplicable fields.
+  std::string generator = "uniform";
+  size_t rows = 1000;
+  size_t quasi_identifiers = 2;
+  size_t modes = 4;  // clustered only
+  uint64_t seed = 1;
+
+  // kDataset / kRecordSource: non-owning; the object must outlive RunJob.
+  const Dataset* dataset = nullptr;
+  RecordSource* source = nullptr;
+};
+
+// Column roles, assigned by name against the input's schema. May stay
+// empty for inputs whose schema already carries roles (datasets, record
+// sources, every synthetic generator); must name real columns for CSV
+// inputs.
+struct JobRoles {
+  std::vector<std::string> quasi_identifiers;
+  std::string confidential;
+};
+
+// The anonymization algorithm and its privacy parameters.
+struct JobAlgorithm {
+  std::string name = "tclose_first";  // any AlgorithmRegistry name
+  size_t k = 5;
+  double t = 0.1;
+  uint64_t seed = 1;
+};
+
+// Execution shape: mode, parallelism and memory budget.
+struct JobExecution {
+  ExecutionMode mode = ExecutionMode::kInMemory;
+  size_t threads = 1;        // 0 = one per hardware thread
+  size_t shard_size = 4096;  // rows per shard; 0 disables sharding
+  // Streaming only: resident input-row budget (see engine/streaming.h).
+  size_t max_resident_rows = 200000;
+};
+
+// Optional parameter-sweep fan-out: the cross product of algorithms x ks
+// x ts runs as one batch (in-memory only) and the report carries one
+// outcome per cell. Empty lists default to the spec's own algorithm
+// section, so a sweep over just ks is `{"ks": [2, 5, 10]}`. Sweeps
+// MEASURE without keeping or verifying releases (`verify` does not
+// apply, and RunReport.verify_requested stays false): publish the
+// winning cell as its own non-sweep job to get a verified release.
+struct JobSweep {
+  std::vector<std::string> algorithms;
+  std::vector<size_t> ks;
+  std::vector<double> ts;
+};
+
+// Output sinks. Empty paths skip the corresponding write.
+struct JobOutput {
+  std::string release_path;  // anonymized CSV
+  std::string report_path;   // machine-readable RunReport JSON
+};
+
+struct JobSpec {
+  // The schema version this library reads and writes. FromJson rejects
+  // documents with any other "version".
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  JobInput input;
+  JobRoles roles;
+  JobAlgorithm algorithm;
+  JobExecution execution;
+  // Re-check the release (every window, when streaming) with the
+  // independent privacy evaluators; a failure is kPrivacyViolation.
+  // Sweeps ignore this: they measure cells without producing releases.
+  bool verify = true;
+  JobOutput output;
+  std::optional<JobSweep> sweep;
+
+  // Strict deserialization: unknown keys anywhere, wrong JSON types,
+  // out-of-range parameters (k = 0, t < 0, ...) and unsupported version
+  // all fail with StatusCode::kInvalidSpec and a message naming the
+  // offending key. An unregistered algorithm name fails with
+  // kUnknownAlgorithm (listing the registered names).
+  static Result<JobSpec> FromJson(const JsonValue& json);
+  static Result<JobSpec> FromJsonText(std::string_view text);
+  static Result<JobSpec> FromJsonFile(const std::string& path);
+
+  // Serialization. Programmatic input kinds serialize with their kind
+  // name ("dataset"/"record_source") so reports can echo the spec, but
+  // such documents are rejected on the way back in.
+  JsonValue ToJson() const;
+  std::string ToJsonText(int indent = 2) const;
+
+  // Semantic validation shared by FromJson and RunJob: parameter ranges,
+  // kind/mode compatibility (e.g. only uniform/clustered generators can
+  // stream), sweep contents, registered algorithm names. kInvalidSpec or
+  // kUnknownAlgorithm on failure.
+  Status Validate() const;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_API_JOB_H_

@@ -1,0 +1,100 @@
+#ifndef TCM_API_REPORT_H_
+#define TCM_API_REPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/job.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "engine/streaming.h"
+
+namespace tcm {
+
+// Outcome of one sweep cell (mirrors engine/batch.h's BatchOutcome with
+// the cell's coordinates attached). error_code/error are empty on
+// success; on failure error_code is the StatusCodeName of the cell's
+// status and the measurement fields stay zero.
+struct SweepOutcome {
+  std::string label;      // "algorithm/k=K/t=T"
+  std::string algorithm;
+  size_t k = 0;
+  double t = 0.0;
+  std::string error_code;
+  std::string error;
+  size_t clusters = 0;
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+  double max_cluster_emd = 0.0;
+  double normalized_sse = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+// RunReport: the one machine-readable account of a job, a superset of
+// the engine's PipelineReport and StreamingReport. Every execution mode
+// fills the shared core (rows, cluster stats, verification, timings);
+// streaming runs add per-window summaries, sweeps add per-cell outcomes.
+// ToJson() serializes everything except the in-memory release dataset;
+// all wall-clock fields end in "_seconds" so tooling (and the golden
+// report pin) can normalize timings with one pattern.
+struct RunReport {
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  ExecutionMode mode = ExecutionMode::kInMemory;
+  bool swept = false;  // true when the job ran a sweep fan-out
+
+  // The algorithm section the job ran with (sweeps: the base section).
+  std::string algorithm;
+  size_t k = 0;
+  double t = 0.0;
+  uint64_t seed = 0;
+
+  // Shared measurements.
+  size_t rows = 0;
+  size_t clusters = 0;  // streaming: summed over windows; sweeps: 0
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+  double average_cluster_size = 0.0;  // in-memory runs only
+  double max_cluster_emd = 0.0;
+  double normalized_sse = 0.0;
+
+  // Execution shape.
+  size_t threads = 1;
+  size_t num_shards = 0;
+  size_t final_merges = 0;
+  size_t num_windows = 0;        // streaming only
+  size_t peak_resident_rows = 0; // streaming only
+
+  // Verification verdicts (stay false when verify was off).
+  bool verify_requested = false;
+  bool k_verified = false;
+  bool t_verified = false;
+
+  // Per-stage wall clock. load_seconds covers CSV load / role assignment
+  // in-memory and stream reads when streaming.
+  double load_seconds = 0.0;
+  double anonymize_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double write_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  std::string release_path;  // empty when no release CSV was written
+
+  std::vector<StreamingWindowSummary> windows;  // streaming only
+  std::vector<SweepOutcome> sweep;              // sweeps only
+
+  // In-memory (non-sweep) runs keep the release here so programmatic
+  // callers can audit or post-process it; never serialized.
+  std::optional<Dataset> release;
+
+  JsonValue ToJson() const;
+  std::string ToJsonText(int indent = 2) const;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_API_REPORT_H_

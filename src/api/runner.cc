@@ -1,0 +1,340 @@
+#include "api/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "data/csv.h"
+#include "data/csv_stream.h"
+#include "data/generator.h"
+#include "engine/batch.h"
+#include "engine/pipeline.h"
+#include "engine/streaming.h"
+
+namespace tcm {
+namespace {
+
+Dataset MakeSyntheticDataset(const JobInput& input) {
+  if (input.generator == "uniform") {
+    return MakeUniformDataset(input.rows, input.quasi_identifiers,
+                              input.seed);
+  }
+  if (input.generator == "clustered") {
+    return MakeClusteredDataset(input.rows, input.quasi_identifiers,
+                                input.modes, input.seed);
+  }
+  if (input.generator == "mcd") {
+    return MakeMcdDataset({.num_records = input.rows, .seed = input.seed});
+  }
+  if (input.generator == "hcd") {
+    return MakeHcdDataset({.num_records = input.rows, .seed = input.seed});
+  }
+  if (input.generator == "adult") {
+    return MakeAdultLike({.num_records = input.rows, .seed = input.seed});
+  }
+  // Validate() restricted the name, so this is the only one left.
+  return MakePatientDischargeLike(
+      {.num_records = input.rows, .seed = input.seed});
+}
+
+Result<Dataset> DrainSource(RecordSource* source) {
+  constexpr size_t kBatch = 65536;
+  Dataset out(source->schema());
+  while (true) {
+    TCM_ASSIGN_OR_RETURN(size_t got, source->ReadInto(&out, kBatch));
+    if (got < kBatch) break;
+  }
+  return out;
+}
+
+// Materializes the job's input as an in-memory dataset with the spec's
+// roles applied. To avoid copying a caller-provided dataset whose roles
+// are already set (the common programmatic path), the result is a
+// pointer: either into the spec or into *storage.
+Result<const Dataset*> MaterializeDataset(const JobSpec& spec,
+                                          Dataset* storage) {
+  switch (spec.input.kind) {
+    case InputKind::kCsvPath: {
+      TCM_ASSIGN_OR_RETURN(*storage, ReadNumericCsv(spec.input.path));
+      break;
+    }
+    case InputKind::kSynthetic:
+      *storage = MakeSyntheticDataset(spec.input);
+      break;
+    case InputKind::kDataset:
+      if (spec.roles.quasi_identifiers.empty() &&
+          spec.roles.confidential.empty()) {
+        return spec.input.dataset;  // roles kept: no copy needed
+      }
+      *storage = *spec.input.dataset;
+      break;
+    case InputKind::kRecordSource: {
+      TCM_ASSIGN_OR_RETURN(*storage, DrainSource(spec.input.source));
+      break;
+    }
+  }
+  if (!spec.roles.quasi_identifiers.empty() ||
+      !spec.roles.confidential.empty()) {
+    TCM_RETURN_IF_ERROR(AssignRoles(storage, spec.roles.quasi_identifiers,
+                                    spec.roles.confidential));
+  }
+  return storage;
+}
+
+Status RunInMemoryJob(const JobSpec& spec, RunReport* report) {
+  PipelineSpec pipeline;
+  pipeline.algorithm = spec.algorithm.name;
+  pipeline.k = spec.algorithm.k;
+  pipeline.t = spec.algorithm.t;
+  pipeline.seed = spec.algorithm.seed;
+  pipeline.shard_size = spec.execution.shard_size;
+  pipeline.verify = spec.verify;
+  pipeline.output_path = spec.output.release_path;
+
+  PipelineRunner runner(spec.execution.threads);
+  Result<PipelineReport> run = Status::Internal("unreachable");
+  if (spec.input.kind == InputKind::kCsvPath) {
+    pipeline.input_path = spec.input.path;
+    pipeline.quasi_identifiers = spec.roles.quasi_identifiers;
+    pipeline.confidential = spec.roles.confidential;
+    run = runner.Run(pipeline);
+  } else {
+    Dataset storage;
+    TCM_ASSIGN_OR_RETURN(const Dataset* data,
+                         MaterializeDataset(spec, &storage));
+    run = runner.Run(*data, pipeline);
+  }
+  TCM_RETURN_IF_ERROR(run.status());
+  PipelineReport& pipeline_report = run.value();
+
+  const AnonymizationResult& result = pipeline_report.result;
+  report->rows = result.anonymized.NumRecords();
+  report->clusters = result.partition.NumClusters();
+  report->min_cluster_size = result.min_cluster_size;
+  report->max_cluster_size = result.max_cluster_size;
+  report->average_cluster_size = result.average_cluster_size;
+  report->max_cluster_emd = result.max_cluster_emd;
+  report->normalized_sse = result.normalized_sse;
+  report->threads = pipeline_report.threads;
+  report->num_shards = pipeline_report.num_shards;
+  report->final_merges = pipeline_report.final_merges;
+  report->k_verified = pipeline_report.k_verified;
+  report->t_verified = pipeline_report.t_verified;
+  report->load_seconds = pipeline_report.load_seconds;
+  report->anonymize_seconds = pipeline_report.anonymize_seconds;
+  report->verify_seconds = pipeline_report.verify_seconds;
+  report->write_seconds = pipeline_report.write_seconds;
+  report->release = std::move(pipeline_report.result.anonymized);
+  return Status::Ok();
+}
+
+Status RunStreamingJob(const JobSpec& spec, RunReport* report) {
+  // Build the record source the spec names.
+  std::unique_ptr<StreamingCsvReader> reader;
+  std::unique_ptr<SyntheticSource> synthetic;
+  RecordSource* source = nullptr;
+  switch (spec.input.kind) {
+    case InputKind::kCsvPath: {
+      TCM_ASSIGN_OR_RETURN(reader,
+                           StreamingCsvReader::OpenNumeric(spec.input.path));
+      TCM_ASSIGN_OR_RETURN(
+          Schema schema,
+          SchemaWithRoles(reader->schema(), spec.roles.quasi_identifiers,
+                          spec.roles.confidential));
+      TCM_RETURN_IF_ERROR(reader->ReplaceSchema(std::move(schema)));
+      source = reader.get();
+      break;
+    }
+    case InputKind::kSynthetic:
+      if (spec.input.generator == "uniform") {
+        synthetic = MakeUniformSource(
+            spec.input.rows, spec.input.quasi_identifiers, spec.input.seed);
+      } else {
+        synthetic = MakeClusteredSource(spec.input.rows,
+                                        spec.input.quasi_identifiers,
+                                        spec.input.modes, spec.input.seed);
+      }
+      source = synthetic.get();
+      break;
+    case InputKind::kRecordSource:
+      source = spec.input.source;
+      break;
+    case InputKind::kDataset:
+      return Status::InvalidSpec(
+          "streaming execution cannot read an in-memory dataset");
+  }
+
+  StreamingSpec streaming;
+  streaming.algorithm = spec.algorithm.name;
+  streaming.k = spec.algorithm.k;
+  streaming.t = spec.algorithm.t;
+  streaming.seed = spec.algorithm.seed;
+  streaming.shard_size = spec.execution.shard_size;
+  streaming.max_resident_rows = spec.execution.max_resident_rows;
+  streaming.verify = spec.verify;
+  streaming.output_path = spec.output.release_path;
+
+  StreamingPipelineRunner runner(spec.execution.threads);
+  TCM_ASSIGN_OR_RETURN(StreamingReport streaming_report,
+                       runner.Run(source, streaming));
+
+  report->rows = streaming_report.total_rows;
+  size_t clusters = 0;
+  for (const StreamingWindowSummary& window : streaming_report.windows) {
+    clusters += window.clusters;
+  }
+  report->clusters = clusters;
+  report->min_cluster_size = streaming_report.min_cluster_size;
+  report->max_cluster_size = streaming_report.max_cluster_size;
+  report->max_cluster_emd = streaming_report.max_cluster_emd;
+  report->normalized_sse = streaming_report.normalized_sse;
+  report->threads = streaming_report.threads;
+  report->num_shards = streaming_report.num_shards;
+  report->final_merges = streaming_report.final_merges;
+  report->num_windows = streaming_report.num_windows;
+  report->peak_resident_rows = streaming_report.peak_resident_rows;
+  report->k_verified = streaming_report.k_verified;
+  report->t_verified = streaming_report.t_verified;
+  report->load_seconds = streaming_report.read_seconds;
+  report->anonymize_seconds = streaming_report.anonymize_seconds;
+  report->verify_seconds = streaming_report.verify_seconds;
+  report->write_seconds = streaming_report.write_seconds;
+  report->windows = std::move(streaming_report.windows);
+  return Status::Ok();
+}
+
+Status RunSweepJob(const JobSpec& spec, RunReport* report) {
+  WallTimer timer;
+  Dataset storage;
+  TCM_ASSIGN_OR_RETURN(const Dataset* data,
+                       MaterializeDataset(spec, &storage));
+  report->load_seconds = timer.ElapsedSeconds();
+  report->rows = data->NumRecords();
+
+  const JobSweep& sweep = *spec.sweep;
+  const std::vector<std::string> algorithms =
+      sweep.algorithms.empty() ? std::vector<std::string>{spec.algorithm.name}
+                               : sweep.algorithms;
+  const std::vector<size_t> ks =
+      sweep.ks.empty() ? std::vector<size_t>{spec.algorithm.k} : sweep.ks;
+  const std::vector<double> ts =
+      sweep.ts.empty() ? std::vector<double>{spec.algorithm.t} : sweep.ts;
+
+  // One enumeration of the cross product: the coordinates drive both the
+  // batch jobs and the outcome rows, so they can never fall out of step.
+  struct SweepCell {
+    std::string algorithm;
+    size_t k;
+    double t;
+  };
+  std::vector<SweepCell> cells;
+  cells.reserve(algorithms.size() * ks.size() * ts.size());
+  for (const std::string& algorithm : algorithms) {
+    for (size_t k : ks) {
+      for (double t : ts) cells.push_back({algorithm, k, t});
+    }
+  }
+
+  std::vector<BatchJob> jobs;
+  jobs.reserve(cells.size());
+  for (const SweepCell& cell : cells) {
+    BatchJob job;
+    job.label = cell.algorithm + "/k=" + std::to_string(cell.k) +
+                "/t=" + FormatDouble(cell.t);
+    job.data = data;
+    job.algorithm = cell.algorithm;
+    job.params.k = cell.k;
+    job.params.t = cell.t;
+    job.params.seed = spec.algorithm.seed;
+    jobs.push_back(std::move(job));
+  }
+
+  ThreadPool pool(spec.execution.threads);
+  report->threads = pool.num_threads();
+  timer.Restart();
+  std::vector<BatchOutcome> outcomes = RunBatch(jobs, &pool);
+  // Wall clock of the fan-out; each cell's own time is in its outcome
+  // (their sum exceeds this when cells run concurrently).
+  report->anonymize_seconds = timer.ElapsedSeconds();
+
+  report->sweep.reserve(outcomes.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const BatchOutcome& outcome = outcomes[i];
+    SweepOutcome out;
+    out.label = outcome.label;
+    out.algorithm = cells[i].algorithm;
+    out.k = cells[i].k;
+    out.t = cells[i].t;
+    if (!outcome.status.ok()) {
+      out.error_code = StatusCodeName(outcome.status.code());
+      out.error = outcome.status.message();
+    } else {
+      out.clusters = outcome.clusters;
+      out.min_cluster_size = outcome.min_cluster_size;
+      out.max_cluster_size = outcome.max_cluster_size;
+      out.max_cluster_emd = outcome.max_cluster_emd;
+      out.normalized_sse = outcome.normalized_sse;
+      out.elapsed_seconds = outcome.elapsed_seconds;
+    }
+    report->sweep.push_back(std::move(out));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RunReport> RunJob(const JobSpec& spec) {
+  TCM_RETURN_IF_ERROR(spec.Validate());
+
+  WallTimer total;
+  RunReport report;
+  report.mode = spec.execution.mode;
+  report.swept = spec.sweep.has_value();
+  report.algorithm = spec.algorithm.name;
+  report.k = spec.algorithm.k;
+  report.t = spec.algorithm.t;
+  report.seed = spec.algorithm.seed;
+  report.verify_requested = spec.verify && !report.swept;
+  if (!report.swept) report.release_path = spec.output.release_path;
+
+  if (report.swept) {
+    TCM_RETURN_IF_ERROR(RunSweepJob(spec, &report));
+  } else if (spec.execution.mode == ExecutionMode::kStreaming) {
+    TCM_RETURN_IF_ERROR(RunStreamingJob(spec, &report));
+  } else {
+    TCM_RETURN_IF_ERROR(RunInMemoryJob(spec, &report));
+  }
+  report.total_seconds = total.ElapsedSeconds();
+
+  if (!spec.output.report_path.empty()) {
+    TCM_RETURN_IF_ERROR(
+        WriteJsonFile(report.ToJson(), spec.output.report_path));
+  }
+  return report;
+}
+
+Result<RunReport> RunJob(const Dataset& data, JobSpec spec) {
+  spec.input = JobInput{};
+  spec.input.kind = InputKind::kDataset;
+  spec.input.dataset = &data;
+  return RunJob(spec);
+}
+
+Result<RunReport> RunJob(RecordSource* source, JobSpec spec) {
+  spec.input = JobInput{};
+  spec.input.kind = InputKind::kRecordSource;
+  spec.input.source = source;
+  return RunJob(spec);
+}
+
+Status VerifyRelease(const Dataset& release, size_t k, double t) {
+  TCM_ASSIGN_OR_RETURN(ReleaseVerification verification,
+                       CheckRelease(release, k, t));
+  if (!verification.ok()) return PrivacyViolationError(verification);
+  return Status::Ok();
+}
+
+}  // namespace tcm

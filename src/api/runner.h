@@ -1,0 +1,41 @@
+#ifndef TCM_API_RUNNER_H_
+#define TCM_API_RUNNER_H_
+
+#include "api/job.h"
+#include "api/report.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/record_source.h"
+
+namespace tcm {
+
+// Executes one JobSpec end to end and returns its RunReport. This is the
+// public entry point the CLI, the examples and external services program
+// against; internally it validates the spec (kInvalidSpec /
+// kUnknownAlgorithm), lowers it onto PipelineRunner,
+// StreamingPipelineRunner or RunBatch, and — when the spec names a
+// report_path — writes the JSON report before returning. Failures carry
+// the structured taxonomy: kIoError for unreadable inputs/sinks,
+// kPrivacyViolation when a verified release fails re-verification.
+//
+// Determinism: a JobSpec maps onto the engine exactly the way the
+// pre-facade spec structs did, so release bytes are unchanged for any
+// thread count and for streamed-vs-in-memory single-window runs (pinned
+// by tests/golden/).
+Result<RunReport> RunJob(const JobSpec& spec);
+
+// Sugar for in-process callers: runs `spec` against a live dataset or
+// record source (overriding spec.input). Non-owning; the object must
+// outlive the call.
+Result<RunReport> RunJob(const Dataset& data, JobSpec spec);
+Result<RunReport> RunJob(RecordSource* source, JobSpec spec);
+
+// Independent re-check of a release the way an auditor would: OK when
+// `release` is k-anonymous and t-close, kPrivacyViolation naming the
+// violated guarantee otherwise. The same check (and code) the verify
+// stage applies inside RunJob.
+Status VerifyRelease(const Dataset& release, size_t k, double t);
+
+}  // namespace tcm
+
+#endif  // TCM_API_RUNNER_H_

@@ -1,0 +1,565 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tcm {
+namespace {
+
+// Largest integer magnitude a double represents exactly; integers in this
+// range print without a fraction and read back as the same value.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  double integral;
+  if (std::modf(value, &integral) == 0.0 &&
+      std::fabs(value) <= kMaxExactInteger) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out->append(buf);
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision
+  // until strtod reads the digits back exactly.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  out->append(buf);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    TCM_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    size_t line = 1, column = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return Status::InvalidArgument("JSON parse error at line " +
+                                   std::to_string(line) + ", column " +
+                                   std::to_string(column) + ": " + message);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxJsonDepth) {
+      return Error("document nested deeper than " +
+                   std::to_string(kMaxJsonDepth) + " levels");
+    }
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case 'n':
+        if (Consume("null")) return JsonValue();
+        return Error("invalid literal (expected 'null')");
+      case 't':
+        if (Consume("true")) return JsonValue(true);
+        return Error("invalid literal (expected 'true')");
+      case 'f':
+        if (Consume("false")) return JsonValue(false);
+        return Error("invalid literal (expected 'false')");
+      case '"': {
+        TCM_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      SkipWhitespace();
+      TCM_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      array.Append(std::move(element));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      char c = Peek();
+      ++pos_;
+      if (c == ']') return array;
+      if (c != ',') {
+        --pos_;
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      TCM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (object.Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Error("expected ':' after key");
+      ++pos_;
+      SkipWhitespace();
+      TCM_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      char c = Peek();
+      ++pos_;
+      if (c == '}') return object;
+      if (c != ',') {
+        --pos_;
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      ++pos_;
+      if (c == '"') return out;
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape sequence");
+      char escape = text_[pos_];
+      ++pos_;
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          TCM_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!Consume("\\u")) return Error("unpaired surrogate");
+            TCM_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("unpaired surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error(std::string("invalid escape '\\") + escape + "'");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    auto digits = [&]() {
+      size_t count = 0;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    if (AtEnd()) return Error("invalid number");
+    if (Peek() == '0') {
+      ++pos_;  // no leading zeros before further digits
+    } else if (digits() == 0) {
+      return Error("invalid number");
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (digits() == 0) return Error("digits required after decimal point");
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (digits() == 0) return Error("digits required in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    if (!std::isfinite(value)) return Error("number out of range");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::bool_value() const {
+  TCM_CHECK(is_bool()) << "bool_value() on non-bool JsonValue";
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  TCM_CHECK(is_number()) << "number_value() on non-number JsonValue";
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  TCM_CHECK(is_string()) << "string_value() on non-string JsonValue";
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  TCM_CHECK(false) << "size() on scalar JsonValue";
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  TCM_CHECK(is_array()) << "at() on non-array JsonValue";
+  TCM_CHECK(index < array_.size()) << "JSON array index out of range";
+  return array_[index];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  TCM_CHECK(is_array()) << "items() on non-array JsonValue";
+  return array_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  TCM_CHECK(is_array()) << "Append() on non-array JsonValue";
+  array_.push_back(std::move(value));
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  TCM_CHECK(is_object()) << "members() on non-object JsonValue";
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  TCM_CHECK(is_object()) << "Find() on non-object JsonValue";
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  TCM_CHECK(is_object()) << "Set() on non-object JsonValue";
+  for (Member& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+Result<bool> JsonValue::GetBool() const {
+  if (!is_bool()) return Status::InvalidArgument("expected a boolean");
+  return bool_;
+}
+
+Result<double> JsonValue::GetNumber() const {
+  if (!is_number()) return Status::InvalidArgument("expected a number");
+  return number_;
+}
+
+Result<uint64_t> JsonValue::GetUint() const {
+  if (!is_number()) {
+    return Status::InvalidArgument("expected a non-negative integer");
+  }
+  double integral;
+  if (std::modf(number_, &integral) != 0.0 || number_ < 0.0 ||
+      number_ > kMaxExactInteger) {
+    return Status::InvalidArgument("expected a non-negative integer, got " +
+                                   Write());
+  }
+  return static_cast<uint64_t>(number_);
+}
+
+Result<std::string> JsonValue::GetString() const {
+  if (!is_string()) return Status::InvalidArgument("expected a string");
+  return string_;
+}
+
+void JsonValue::WriteTo(std::string* out, int indent, int depth) const {
+  auto newline_at = [&](int level) {
+    if (indent < 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * static_cast<size_t>(level),
+                ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      AppendNumber(number_, out);
+      return;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_at(depth + 1);
+        array_[i].WriteTo(out, indent, depth + 1);
+      }
+      newline_at(depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_at(depth + 1);
+        AppendEscaped(object_[i].first, out);
+        out->push_back(':');
+        if (indent >= 0) out->push_back(' ');
+        object_[i].second.WriteTo(out, indent, depth + 1);
+      }
+      newline_at(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Write(int indent) const {
+  std::string out;
+  WriteTo(&out, indent, 0);
+  return out;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.bool_ == b.bool_;
+    case JsonValue::Type::kNumber:
+      return a.number_ == b.number_;
+    case JsonValue::Type::kString:
+      return a.string_ == b.string_;
+    case JsonValue::Type::kArray:
+      return a.array_ == b.array_;
+    case JsonValue::Type::kObject:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string WriteJson(const JsonValue& value, int indent) {
+  return value.Write(indent);
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::IoError("cannot read JSON file " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("error while reading JSON file " + path);
+  }
+  auto parsed = ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Status WriteJsonFile(const JsonValue& value, const std::string& path,
+                     int indent) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    return Status::IoError("cannot write JSON file " + path);
+  }
+  const std::string text = value.Write(indent) + "\n";
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("error while writing JSON file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcm

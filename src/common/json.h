@@ -1,0 +1,123 @@
+#ifndef TCM_COMMON_JSON_H_
+#define TCM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tcm {
+
+// Minimal dependency-free JSON document model, parser and writer: the
+// serialization substrate of the public Job API (api/job.h). Scope is
+// deliberately small — RFC 8259 documents, doubles for every number, and
+// insertion-ordered objects so written output is deterministic. The
+// parser is strict: duplicate object keys, trailing garbage, unpaired
+// surrogates and documents nested deeper than kMaxJsonDepth are errors,
+// not lenient accepts.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Object members keep insertion order; lookup is linear, which is the
+  // right trade for the small spec/report documents this backs.
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  JsonValue(int value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(size_t value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+
+  static JsonValue MakeArray() { return JsonValue(Type::kArray); }
+  static JsonValue MakeObject() { return JsonValue(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; calling the wrong one aborts (callers use the
+  // Result-returning Get* helpers below for untrusted documents).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+
+  // Array access.
+  size_t size() const;
+  const JsonValue& at(size_t index) const;
+  const std::vector<JsonValue>& items() const;
+  void Append(JsonValue value);
+
+  // Object access. Find returns nullptr when the key is absent; Set
+  // replaces an existing member in place (keeping its position).
+  const std::vector<Member>& members() const;
+  const JsonValue* Find(std::string_view key) const;
+  void Set(std::string key, JsonValue value);
+
+  // Checked conversions for untrusted documents. GetUint rejects
+  // non-integral numbers, negatives and values above 2^53 (not exactly
+  // representable in a double, so never written by this library).
+  Result<bool> GetBool() const;
+  Result<double> GetNumber() const;
+  Result<uint64_t> GetUint() const;
+  Result<std::string> GetString() const;
+
+  // Serializes the document. indent < 0 writes compact single-line JSON;
+  // indent >= 0 pretty-prints with that many spaces per level. Numbers
+  // round-trip: integers in [-2^53, 2^53] print without a fraction, other
+  // finite doubles with the shortest digit string that parses back
+  // exactly. Non-finite numbers serialize as null (JSON has no NaN/Inf).
+  std::string Write(int indent = -1) const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+
+  void WriteTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+// Maximum container nesting the parser accepts before failing with
+// InvalidArgument (guards the recursive descent against stack overflow on
+// adversarial input).
+inline constexpr int kMaxJsonDepth = 64;
+
+// Parses exactly one JSON document spanning all of `text` (surrounding
+// whitespace allowed). InvalidArgument with a line/column pointer on any
+// syntax error, duplicate object key, bad escape, or trailing garbage.
+Result<JsonValue> ParseJson(std::string_view text);
+
+// Serializes `value` like JsonValue::Write.
+std::string WriteJson(const JsonValue& value, int indent = -1);
+
+// Reads and parses a JSON file. IoError when the file cannot be read;
+// parse failures are InvalidArgument mentioning the path.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+// Writes `value` to `path` (pretty-printed, trailing newline). IoError on
+// filesystem failure.
+Status WriteJsonFile(const JsonValue& value, const std::string& path,
+                     int indent = 2);
+
+}  // namespace tcm
+
+#endif  // TCM_COMMON_JSON_H_

@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kInvalidSpec:
+      return "InvalidSpec";
+    case StatusCode::kUnknownAlgorithm:
+      return "UnknownAlgorithm";
+    case StatusCode::kPrivacyViolation:
+      return "PrivacyViolation";
   }
   return "Unknown";
 }

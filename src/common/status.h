@@ -8,6 +8,8 @@ namespace tcm {
 
 // Error categories used across the library. The set is deliberately small:
 // callers branch on "did it work" far more often than on the precise cause.
+// The last three form the public Job API's structured taxonomy (api/job.h):
+// facade callers branch on these codes instead of string-matching messages.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 1,   // caller passed something malformed
@@ -17,6 +19,9 @@ enum class StatusCode {
   kInternal = 5,          // invariant violation inside the library
   kIoError = 6,           // file system / parsing failure
   kUnimplemented = 7,     // feature intentionally not available
+  kInvalidSpec = 8,       // a job/pipeline spec failed validation
+  kUnknownAlgorithm = 9,  // algorithm name not in the registry
+  kPrivacyViolation = 10, // release failed independent re-verification
 };
 
 // Returns a stable, human-readable name ("OK", "InvalidArgument", ...).
@@ -58,6 +63,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status InvalidSpec(std::string msg) {
+    return Status(StatusCode::kInvalidSpec, std::move(msg));
+  }
+  static Status UnknownAlgorithm(std::string msg) {
+    return Status(StatusCode::kUnknownAlgorithm, std::move(msg));
+  }
+  static Status PrivacyViolation(std::string msg) {
+    return Status(StatusCode::kPrivacyViolation, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,22 @@
 
 namespace tcm {
 
+Result<ReleaseVerification> CheckRelease(const Dataset& release, size_t k,
+                                         double t) {
+  ReleaseVerification verification;
+  TCM_ASSIGN_OR_RETURN(verification.k_anonymous, IsKAnonymous(release, k));
+  TCM_ASSIGN_OR_RETURN(verification.t_close, IsTClose(release, t));
+  return verification;
+}
+
+Status PrivacyViolationError(const ReleaseVerification& verification,
+                             const std::string& context) {
+  return Status::PrivacyViolation(
+      context + "release failed re-verification: " +
+      (verification.k_anonymous ? "" : "k-anonymity ") +
+      (verification.t_close ? "" : "t-closeness"));
+}
+
 Result<Schema> SchemaWithRoles(
     const Schema& schema, const std::vector<std::string>& quasi_identifiers,
     const std::string& confidential) {
@@ -61,6 +77,7 @@ Result<PipelineReport> PipelineRunner::Run(const PipelineSpec& spec) {
     return Status::InvalidArgument(
         "spec.input_path is empty; use Run(data, spec) for in-memory data");
   }
+  WallTimer total;
   WallTimer timer;
   TCM_ASSIGN_OR_RETURN(Dataset data, ReadNumericCsv(spec.input_path));
   TCM_RETURN_IF_ERROR(
@@ -73,14 +90,18 @@ Result<PipelineReport> PipelineRunner::Run(const PipelineSpec& spec) {
   staged_spec.confidential.clear();
   TCM_ASSIGN_OR_RETURN(PipelineReport report, Run(data, staged_spec));
   report.load_seconds = load_seconds;
+  report.total_seconds = total.ElapsedSeconds();
   return report;
 }
 
 Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
                                            const PipelineSpec& spec) {
+  WallTimer total;
   PipelineReport report;
   report.threads = pool_.num_threads();
 
+  // Load stage, reduced to role assignment for in-memory data.
+  WallTimer timer;
   Dataset staged;
   const Dataset* input = &data;
   if (!spec.quasi_identifiers.empty() || !spec.confidential.empty()) {
@@ -89,9 +110,10 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
         AssignRoles(&staged, spec.quasi_identifiers, spec.confidential));
     input = &staged;
   }
+  report.load_seconds = timer.ElapsedSeconds();
 
   // Shard + anonymize stages.
-  WallTimer timer;
+  timer.Restart();
   ShardedAnonymizeOptions options;
   options.algorithm = spec.algorithm;
   options.params.k = spec.k;
@@ -109,18 +131,13 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
   // auditor (not the algorithm) would.
   if (spec.verify) {
     timer.Restart();
-    TCM_ASSIGN_OR_RETURN(bool k_ok,
-                         IsKAnonymous(report.result.anonymized, spec.k));
-    TCM_ASSIGN_OR_RETURN(bool t_ok,
-                         IsTClose(report.result.anonymized, spec.t));
+    TCM_ASSIGN_OR_RETURN(
+        ReleaseVerification verification,
+        CheckRelease(report.result.anonymized, spec.k, spec.t));
     report.verify_seconds = timer.ElapsedSeconds();
-    report.k_verified = k_ok;
-    report.t_verified = t_ok;
-    if (!k_ok || !t_ok) {
-      return Status::Internal(
-          std::string("release failed re-verification: ") +
-          (k_ok ? "" : "k-anonymity ") + (t_ok ? "" : "t-closeness"));
-    }
+    report.k_verified = verification.k_anonymous;
+    report.t_verified = verification.t_close;
+    if (!verification.ok()) return PrivacyViolationError(verification);
   }
 
   // Write stage.
@@ -130,6 +147,7 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
                                  spec.output_path));
     report.write_seconds = timer.ElapsedSeconds();
   }
+  report.total_seconds = total.ElapsedSeconds();
   return report;
 }
 

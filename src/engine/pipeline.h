@@ -45,7 +45,10 @@ struct PipelineSpec {
 };
 
 // Everything a caller needs to audit the run: the release + measurements,
-// the execution shape, and per-stage wall-clock times.
+// the execution shape, and per-stage wall-clock times. Both Run overloads
+// populate every timing field: on the in-memory overload load_seconds
+// covers role assignment (its whole load stage), and total_seconds is the
+// wall-clock of the entire Run call, stage gaps included.
 struct PipelineReport {
   AnonymizationResult result;
   size_t num_shards = 1;
@@ -57,6 +60,7 @@ struct PipelineReport {
   double anonymize_seconds = 0.0;
   double verify_seconds = 0.0;
   double write_seconds = 0.0;
+  double total_seconds = 0.0;
 };
 
 // Executes PipelineSpecs on an owned thread pool. The release is
@@ -81,6 +85,28 @@ class PipelineRunner {
  private:
   ThreadPool pool_;
 };
+
+// Verdicts of the independent release re-check (the auditor-side view:
+// only the released data is consulted, never the algorithm's own
+// bookkeeping). Shared by the in-memory and streaming verify stages and
+// the public VerifyRelease facade, so the three paths cannot drift.
+struct ReleaseVerification {
+  bool k_anonymous = false;
+  bool t_close = false;
+
+  bool ok() const { return k_anonymous && t_close; }
+};
+
+// Re-checks k-anonymity and t-closeness of `release` with the
+// independent privacy evaluators.
+Result<ReleaseVerification> CheckRelease(const Dataset& release, size_t k,
+                                         double t);
+
+// Converts failed verdicts into the structured kPrivacyViolation error,
+// naming the violated guarantee(s). `context` prefixes the message
+// (e.g. "window 3: ").
+Status PrivacyViolationError(const ReleaseVerification& verification,
+                             const std::string& context = "");
 
 // Returns a copy of `schema` with kQuasiIdentifier / kConfidential roles
 // assigned to the named columns, validating every name: unknown names

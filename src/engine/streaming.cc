@@ -6,10 +6,9 @@
 
 #include "common/timer.h"
 #include "data/csv_stream.h"
+#include "engine/pipeline.h"
 #include "engine/registry.h"
 #include "engine/sharded.h"
-#include "privacy/kanonymity.h"
-#include "privacy/tcloseness.h"
 
 namespace tcm {
 namespace {
@@ -65,6 +64,7 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
   std::unique_ptr<StreamingCsvWriter> writer;
   Dataset carry(schema);
   bool exhausted = false;
+  WallTimer total;
   WallTimer timer;
   while (!exhausted) {
     // Assemble the next window: carried read-ahead rows first, then fill
@@ -126,17 +126,15 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
     // Verify: independent re-check of both guarantees per window.
     if (spec.verify) {
       timer.Restart();
-      TCM_ASSIGN_OR_RETURN(bool k_ok,
-                           IsKAnonymous(result->anonymized, spec.k));
-      TCM_ASSIGN_OR_RETURN(bool t_ok, IsTClose(result->anonymized, spec.t));
+      TCM_ASSIGN_OR_RETURN(
+          ReleaseVerification verification,
+          CheckRelease(result->anonymized, spec.k, spec.t));
       report.verify_seconds += timer.ElapsedSeconds();
-      report.k_verified = report.k_verified && k_ok;
-      report.t_verified = report.t_verified && t_ok;
-      if (!k_ok || !t_ok) {
-        return Status::Internal(
-            "window " + std::to_string(w) +
-            " failed re-verification: " + (k_ok ? "" : "k-anonymity ") +
-            (t_ok ? "" : "t-closeness"));
+      report.k_verified = report.k_verified && verification.k_anonymous;
+      report.t_verified = report.t_verified && verification.t_close;
+      if (!verification.ok()) {
+        return PrivacyViolationError(verification,
+                                     "window " + std::to_string(w) + ": ");
       }
     }
 
@@ -181,6 +179,7 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
     TCM_RETURN_IF_ERROR(writer->Close());
     report.write_seconds += timer.ElapsedSeconds();
   }
+  report.total_seconds = total.ElapsedSeconds();
   return report;
 }
 

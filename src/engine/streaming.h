@@ -91,6 +91,8 @@ struct StreamingReport {
   double anonymize_seconds = 0.0;
   double verify_seconds = 0.0;
   double write_seconds = 0.0;
+  // Wall-clock of the whole Run call (stage gaps included).
+  double total_seconds = 0.0;
   std::vector<StreamingWindowSummary> windows;
 };
 

@@ -1,0 +1,32 @@
+#ifndef TCM_TCM_API_H_
+#define TCM_TCM_API_H_
+
+// tcm/api.h — the public umbrella header of the t-closeness-through-
+// microaggregation library. External consumers include this one header
+// and program against the versioned Job API:
+//
+//   #include "tcm/api.h"
+//
+//   tcm::JobSpec spec = tcm::JobSpec::FromJsonText(R"({
+//     "input": {"kind": "synthetic", "generator": "uniform",
+//               "rows": 500, "quasi_identifiers": 3, "seed": 42},
+//     "algorithm": {"name": "tclose_first", "k": 5, "t": 0.15}
+//   })").value();
+//   auto report = tcm::RunJob(spec);
+//
+// Everything re-exported here is covered by the JobSpec schema version
+// (JobSpec::kVersion): JobSpec and its JSON round-trip, RunReport and
+// its JSON serialization, RunJob/VerifyRelease, and the structured
+// StatusCode taxonomy carried on Status/Result. Engine internals
+// (engine/*.h) remain includable but are not versioned API.
+
+#include "api/job.h"
+#include "api/report.h"
+#include "api/runner.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/record_source.h"
+
+#endif  // TCM_TCM_API_H_

@@ -34,6 +34,11 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::InvalidSpec("x").code(), StatusCode::kInvalidSpec);
+  EXPECT_EQ(Status::UnknownAlgorithm("x").code(),
+            StatusCode::kUnknownAlgorithm);
+  EXPECT_EQ(Status::PrivacyViolation("x").code(),
+            StatusCode::kPrivacyViolation);
   EXPECT_EQ(Status::InvalidArgument("boom").message(), "boom");
 }
 
@@ -69,6 +74,11 @@ TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidSpec), "InvalidSpec");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnknownAlgorithm),
+               "UnknownAlgorithm");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kPrivacyViolation),
+               "PrivacyViolation");
 }
 
 // ---------------------------------------------------------------- Result

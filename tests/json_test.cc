@@ -1,0 +1,236 @@
+// Tests for the dependency-free JSON reader/writer (common/json.h) that
+// backs the public Job API: strict parsing (rejection corpus), exact
+// round-trips, and deterministic output.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace tcm {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+  return parsed.ok() ? parsed.value() : JsonValue();
+}
+
+TEST(JsonParseTest, Literals) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").bool_value());
+  EXPECT_FALSE(MustParse("false").bool_value());
+}
+
+TEST(JsonParseTest, Numbers) {
+  EXPECT_DOUBLE_EQ(MustParse("0").number_value(), 0.0);
+  EXPECT_DOUBLE_EQ(MustParse("-0").number_value(), 0.0);
+  EXPECT_DOUBLE_EQ(MustParse("42").number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-17").number_value(), -17.0);
+  EXPECT_DOUBLE_EQ(MustParse("0.25").number_value(), 0.25);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").number_value(), 1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("-2.5E-2").number_value(), -0.025);
+  EXPECT_DOUBLE_EQ(MustParse("9007199254740992").number_value(),
+                   9007199254740992.0);
+}
+
+TEST(JsonParseTest, Strings) {
+  EXPECT_EQ(MustParse(R"("")").string_value(), "");
+  EXPECT_EQ(MustParse(R"("abc")").string_value(), "abc");
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d")").string_value(), "a\"b\\c/d");
+  EXPECT_EQ(MustParse(R"("\b\f\n\r\t")").string_value(), "\b\f\n\r\t");
+  EXPECT_EQ(MustParse(R"("\u0041")").string_value(), "A");
+  EXPECT_EQ(MustParse(R"("\u00e9")").string_value(), "\xC3\xA9");
+  EXPECT_EQ(MustParse(R"("\u4e2d")").string_value(), "\xE4\xB8\xAD");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(MustParse(R"("\ud83d\ude00")").string_value(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, Containers) {
+  JsonValue array = MustParse("[1, [2, 3], {\"a\": 4}]");
+  ASSERT_TRUE(array.is_array());
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_DOUBLE_EQ(array.at(0).number_value(), 1.0);
+  EXPECT_DOUBLE_EQ(array.at(1).at(1).number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(array.at(2).Find("a")->number_value(), 4.0);
+
+  JsonValue object = MustParse(R"({"x": 1, "y": {"z": [true]}})");
+  ASSERT_TRUE(object.is_object());
+  EXPECT_EQ(object.size(), 2u);
+  EXPECT_TRUE(object.Find("y")->Find("z")->at(0).bool_value());
+  EXPECT_EQ(object.Find("missing"), nullptr);
+
+  EXPECT_EQ(MustParse("[]").size(), 0u);
+  EXPECT_EQ(MustParse("{}").size(), 0u);
+  EXPECT_EQ(MustParse(" [ ] ").size(), 0u);
+}
+
+TEST(JsonParseTest, ObjectsKeepInsertionOrder) {
+  JsonValue object = MustParse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(object.members().size(), 3u);
+  EXPECT_EQ(object.members()[0].first, "z");
+  EXPECT_EQ(object.members()[1].first, "a");
+  EXPECT_EQ(object.members()[2].first, "m");
+}
+
+TEST(JsonParseTest, RejectionCorpus) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "nul",
+      "truth",
+      "[1, 2",
+      "[1 2]",
+      "[1,]",          // strictly: a value must follow the comma
+      "{\"a\": 1,}",
+      "{\"a\" 1}",
+      "{a: 1}",
+      "{\"a\": }",
+      "{\"a\": 1 \"b\": 2}",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"\\u12\"",
+      "\"\\ud800\"",      // unpaired high surrogate
+      "\"\\ude00\"",      // unpaired low surrogate
+      "\"tab\tliteral\"",
+      "01",
+      "1.",
+      ".5",
+      "+1",
+      "1e",
+      "1e+",
+      "--1",
+      "1 2",
+      "[] []",
+      "null garbage",
+      "1e999",            // overflows to infinity
+  };
+  for (const char* text : corpus) {
+    auto parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(JsonParseTest, DuplicateKeysRejected) {
+  auto parsed = ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(JsonParseTest, DepthLimit) {
+  std::string nested;
+  for (int i = 0; i < kMaxJsonDepth + 2; ++i) nested += '[';
+  for (int i = 0; i < kMaxJsonDepth + 2; ++i) nested += ']';
+  EXPECT_FALSE(ParseJson(nested).ok());
+
+  std::string shallow(static_cast<size_t>(kMaxJsonDepth) - 1, '[');
+  shallow += std::string(static_cast<size_t>(kMaxJsonDepth) - 1, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonParseTest, ErrorsNameTheLocation) {
+  auto parsed = ParseJson("{\n  \"a\": ?\n}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(JsonWriteTest, CompactAndPretty) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("name", "t-closeness");
+  object.Set("k", 5);
+  object.Set("flags", [] {
+    JsonValue array = JsonValue::MakeArray();
+    array.Append(true);
+    array.Append(JsonValue());
+    return array;
+  }());
+  EXPECT_EQ(object.Write(),
+            R"({"name":"t-closeness","k":5,"flags":[true,null]})");
+  EXPECT_EQ(object.Write(2),
+            "{\n  \"name\": \"t-closeness\",\n  \"k\": 5,\n"
+            "  \"flags\": [\n    true,\n    null\n  ]\n}");
+}
+
+TEST(JsonWriteTest, StringEscaping) {
+  JsonValue value("quote\" slash\\ control\x01 tab\t");
+  EXPECT_EQ(value.Write(), R"("quote\" slash\\ control\u0001 tab\t")");
+}
+
+TEST(JsonWriteTest, NumbersRoundTrip) {
+  const double values[] = {0.0,  1.0,   -1.0,       0.1,   1.0 / 3.0,
+                           1e20, 1e-20, 123456.789, -2.5e8};
+  for (double value : values) {
+    const std::string text = JsonValue(value).Write();
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->number_value(), value) << text;
+  }
+  EXPECT_EQ(JsonValue(42.0).Write(), "42");
+  EXPECT_EQ(JsonValue(0.1).Write(), "0.1");
+}
+
+TEST(JsonWriteTest, DocumentRoundTrip) {
+  const char* documents[] = {
+      "null",
+      "[1,2,3]",
+      R"({"a":{"b":[true,false,null,"x"]},"c":-0.125})",
+      R"(["nested",["deep",["deeper",{}]]])",
+  };
+  for (const char* text : documents) {
+    JsonValue first = MustParse(text);
+    JsonValue second = MustParse(first.Write());
+    EXPECT_TRUE(first == second) << text;
+    EXPECT_EQ(first.Write(), second.Write()) << text;
+  }
+}
+
+TEST(JsonValueTest, CheckedGetters) {
+  EXPECT_TRUE(JsonValue(true).GetBool().ok());
+  EXPECT_FALSE(JsonValue(1.0).GetBool().ok());
+  EXPECT_TRUE(JsonValue(1.5).GetNumber().ok());
+  EXPECT_FALSE(JsonValue("x").GetNumber().ok());
+  EXPECT_TRUE(JsonValue("x").GetString().ok());
+  EXPECT_FALSE(JsonValue().GetString().ok());
+
+  EXPECT_EQ(JsonValue(42.0).GetUint().value(), 42u);
+  EXPECT_FALSE(JsonValue(-1.0).GetUint().ok());
+  EXPECT_FALSE(JsonValue(1.5).GetUint().ok());
+  EXPECT_FALSE(JsonValue("7").GetUint().ok());
+}
+
+TEST(JsonValueTest, SetReplacesInPlace) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("a", 1);
+  object.Set("b", 2);
+  object.Set("a", 3);
+  ASSERT_EQ(object.members().size(), 2u);
+  EXPECT_EQ(object.members()[0].first, "a");
+  EXPECT_DOUBLE_EQ(object.members()[0].second.number_value(), 3.0);
+}
+
+TEST(JsonFileTest, ReadWriteRoundTrip) {
+  const std::string path =
+      testing::TempDir() + "/json_file_roundtrip.json";
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("k", 5);
+  ASSERT_TRUE(WriteJsonFile(object, path).ok());
+  auto read = ReadJsonFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(*read == object);
+}
+
+TEST(JsonFileTest, MissingFileIsIoError) {
+  auto read = ReadJsonFile("/nonexistent/definitely/missing.json");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tcm

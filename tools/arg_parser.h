@@ -1,0 +1,161 @@
+#ifndef TCM_TOOLS_ARG_PARSER_H_
+#define TCM_TOOLS_ARG_PARSER_H_
+
+// Shared command-line parsing for the tcm_* tools. Replaces the
+// copy-pasted per-tool flag loops with one strict parser: every flag is
+// declared up front, unknown flags and missing/malformed values fail
+// with a clear message (never a silent skip), and Seen() lets a tool
+// distinguish "flag given" from "default kept" — which is how
+// tcm_anonymize layers flag overrides on top of a --job spec.
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace tcm {
+namespace tools {
+
+class ArgParser {
+ public:
+  // `usage` is printed to stderr after any parse error.
+  explicit ArgParser(std::string usage) : usage_(std::move(usage)) {}
+
+  // Value-less flag (presence sets *out to true).
+  void AddFlag(const std::string& name, bool* out) {
+    specs_[name] = {Kind::kFlag, out};
+  }
+  void AddString(const std::string& name, std::string* out) {
+    specs_[name] = {Kind::kString, out};
+  }
+  // Comma-separated list ("a,b,c").
+  void AddStringList(const std::string& name,
+                     std::vector<std::string>* out) {
+    specs_[name] = {Kind::kStringList, out};
+  }
+  void AddSize(const std::string& name, size_t* out) {
+    specs_[name] = {Kind::kSize, out};
+  }
+  void AddUint64(const std::string& name, uint64_t* out) {
+    specs_[name] = {Kind::kUint64, out};
+  }
+  void AddNonNegativeDouble(const std::string& name, double* out) {
+    specs_[name] = {Kind::kDouble, out};
+  }
+
+  // Parses argv. On any error — unknown flag, missing value, malformed
+  // number — prints the problem and the usage text to stderr and returns
+  // false (callers exit 2).
+  bool Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto spec = specs_.find(flag);
+      if (spec == specs_.end()) {
+        return Fail("unknown flag '" + flag + "'");
+      }
+      seen_.insert(flag);
+      if (spec->second.kind == Kind::kFlag) {
+        *static_cast<bool*>(spec->second.out) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Fail(flag + " expects a value");
+      }
+      const char* value = argv[++i];
+      switch (spec->second.kind) {
+        case Kind::kFlag:
+          break;  // handled above
+        case Kind::kString:
+          *static_cast<std::string*>(spec->second.out) = value;
+          break;
+        case Kind::kStringList:
+          *static_cast<std::vector<std::string>*>(spec->second.out) =
+              SplitString(value, ',');
+          break;
+        case Kind::kSize: {
+          size_t parsed = 0;
+          if (!ParseSize(value, &parsed)) {
+            return Fail(flag + " expects a non-negative integer, got '" +
+                        value + "'");
+          }
+          *static_cast<size_t*>(spec->second.out) = parsed;
+          break;
+        }
+        case Kind::kUint64: {
+          uint64_t parsed = 0;
+          if (!ParseUint64(value, &parsed)) {
+            return Fail(flag + " expects a non-negative integer, got '" +
+                        value + "'");
+          }
+          *static_cast<uint64_t*>(spec->second.out) = parsed;
+          break;
+        }
+        case Kind::kDouble: {
+          double parsed = 0.0;
+          if (!ParseDouble(value, &parsed) || parsed < 0.0) {
+            return Fail(flag + " expects a non-negative number, got '" +
+                        std::string(value) + "'");
+          }
+          *static_cast<double*>(spec->second.out) = parsed;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Whether the flag appeared on the command line.
+  bool Seen(const std::string& name) const { return seen_.count(name) > 0; }
+
+ private:
+  enum class Kind { kFlag, kString, kStringList, kSize, kUint64, kDouble };
+  struct Spec {
+    Kind kind;
+    void* out;
+  };
+
+  // Strict non-negative integer parse: rejects signs, garbage and
+  // overflow (strtoul would wrap "-1" to ULONG_MAX and read "abc" as 0).
+  static bool ParseUint64(const char* text, uint64_t* out) {
+    if (text == nullptr || *text == '\0') return false;
+    uint64_t value = 0;
+    for (const char* p = text; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9') return false;
+      uint64_t digit = static_cast<uint64_t>(*p - '0');
+      if (value > (UINT64_MAX - digit) / 10) return false;
+      value = value * 10 + digit;
+    }
+    *out = value;
+    return true;
+  }
+
+  // Same, bounded to size_t (64-bit seeds use ParseUint64 directly).
+  static bool ParseSize(const char* text, size_t* out) {
+    uint64_t value = 0;
+    if (!ParseUint64(text, &value)) return false;
+    if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+      if (value > std::numeric_limits<size_t>::max()) return false;
+    }
+    *out = static_cast<size_t>(value);
+    return true;
+  }
+
+  bool Fail(const std::string& message) const {
+    std::fprintf(stderr, "%s\n%s", message.c_str(), usage_.c_str());
+    return false;
+  }
+
+  std::string usage_;
+  std::map<std::string, Spec> specs_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace tools
+}  // namespace tcm
+
+#endif  // TCM_TOOLS_ARG_PARSER_H_

@@ -1,0 +1,87 @@
+# ctest golden script for the Job API surface of tcm_anonymize: run the
+# tool on the checked-in tests/golden/job_tclose_first.json and require
+#   1. the release bytes to EQUAL the committed golden release, and
+#   2. the --report-json document, with every volatile "*_seconds" timing
+#      normalized to 0, to EQUAL the committed golden report.
+# Together with anonymize_golden.cmake (the flag spelling of the same
+# run) this pins the whole --job path: JSON spec parsing, the facade
+# lowering, and the RunReport schema — a schema change shows up as a
+# golden diff to review, exactly like release bytes.
+#
+# Invoked as:
+#   cmake -DTCM_ANONYMIZE=<binary> -DGOLDEN_DIR=<tests/golden>
+#         -DWORK_DIR=<dir> -P job_golden.cmake
+
+if(NOT TCM_ANONYMIZE OR NOT GOLDEN_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "TCM_ANONYMIZE, GOLDEN_DIR and WORK_DIR must be defined")
+endif()
+
+set(job "${GOLDEN_DIR}/job_tclose_first.json")
+set(golden_release "${GOLDEN_DIR}/release_tclose_first_k5_t30.csv")
+set(golden_report "${GOLDEN_DIR}/report_tclose_first.json")
+foreach(file IN ITEMS "${job}" "${golden_release}" "${golden_report}")
+  if(NOT EXISTS "${file}")
+    message(FATAL_ERROR "missing golden file ${file}")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(release_out "${WORK_DIR}/job_release.csv")
+set(report_out "${WORK_DIR}/job_report.json")
+file(REMOVE "${release_out}" "${report_out}")
+
+# The job file names its input relative to the golden directory, so the
+# tool runs from there; output sinks come in as flag overrides — the
+# "flags are sugar over a JobSpec" contract under test.
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}" --job "${job}"
+    --output "${release_out}" --report-json "${report_out}"
+  WORKING_DIRECTORY "${GOLDEN_DIR}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE errors)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--job golden run exited with ${rc}\n${errors}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${release_out}"
+    "${golden_release}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "--job release bytes drifted from ${golden_release}; if intentional, "
+    "regenerate the goldens and review the diff")
+endif()
+
+# Normalize the volatile fields — timings (every key ending in _seconds)
+# and the run-local release path — and compare the rest byte for byte.
+file(READ "${report_out}" report)
+string(REGEX REPLACE "\"([a-z_]*_seconds)\": [-+.eE0-9]+" "\"\\1\": 0"
+  report "${report}")
+string(REGEX REPLACE "\"release_path\": \"[^\"]*\""
+  "\"release_path\": \"<release>\"" report "${report}")
+file(READ "${golden_report}" expected)
+if(NOT report STREQUAL expected)
+  file(WRITE "${WORK_DIR}/job_report_normalized.json" "${report}")
+  message(FATAL_ERROR
+    "--report-json schema drifted from ${golden_report} "
+    "(normalized copy at ${WORK_DIR}/job_report_normalized.json); if "
+    "intentional, regenerate the golden and review the diff")
+endif()
+
+# A spec typo must fail fast with the structured code on stderr.
+execute_process(
+  COMMAND "${TCM_ANONYMIZE}" --job "${job}" --algorithm bogus
+    --output "${WORK_DIR}/never.csv"
+  WORKING_DIRECTORY "${GOLDEN_DIR}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE errors)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--job with --algorithm bogus unexpectedly succeeded")
+endif()
+if(NOT errors MATCHES "UnknownAlgorithm")
+  message(FATAL_ERROR
+    "unknown-algorithm failure lacks the structured code:\n${errors}")
+endif()
+
+message(STATUS "job golden OK: release and report match pinned bytes")

@@ -1,91 +1,46 @@
-// tcm_anonymize: command-line anonymizer over CSV files, driven by the
-// parallel engine (algorithm registry + sharded pipeline runner).
+// tcm_anonymize: command-line anonymizer over CSV files, a thin shell
+// around the public Job API (tcm/api.h).
 //
+//   tcm_anonymize --job job.json [overrides...]
 //   tcm_anonymize --input data.csv --output release.csv
 //       --qi age,zipcode --confidential salary
 //       --k 5 --t 0.1 [--algorithm NAME] [--threads N] [--shard-size N]
 //       [--seed N] [--stream] [--max-resident-rows N] [--report]
-//       [--list-algorithms]
+//       [--report-json FILE] [--list-algorithms]
 //
-// The input must be a numeric CSV with a header row. Columns named in
-// --qi become quasi-identifiers, the --confidential column drives
-// t-closeness, everything else is released unchanged. --algorithm takes
-// any name registered in the engine's AlgorithmRegistry (see
-// --list-algorithms); large inputs are sharded (--shard-size rows per
-// shard, 0 disables) and the shards are anonymized in parallel on
-// --threads workers. The release is byte-identical for any thread
-// count. Exit code 0 only when the release was produced AND re-verified.
-//
-// --stream switches to the out-of-core path: the CSV is consumed in
-// bounded memory (at most --max-resident-rows input rows resident),
-// anonymized window by window through the same engine, and each window
-// is re-verified k-anonymous and t-close before its rows are appended
-// to the output. With --max-resident-rows covering the whole input the
-// streamed release is byte-identical to the in-memory one.
+// --job loads a versioned JobSpec from JSON (schema documented in
+// README.md); every other flag is sugar that overrides the corresponding
+// JobSpec field, so the two forms compose — a config-driven deployment
+// can pin a job.json and override, say, --output per run. Without
+// --job, the input must be a numeric CSV with a header row; --qi names
+// become quasi-identifiers and --confidential drives t-closeness.
+// --algorithm takes any registry name (see --list-algorithms), --stream
+// switches to the bounded-memory out-of-core engine, and --report-json
+// writes the machine-readable RunReport. The release is byte-identical
+// for any thread count. Exit code 0 only when the release was produced
+// AND re-verified (sweep specs are the exception: they measure cells
+// without producing or verifying a release); failures print a
+// structured "Code: message" line (e.g. UnknownAlgorithm, InvalidSpec,
+// PrivacyViolation) to stderr.
 
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "common/strings.h"
-#include "data/csv_stream.h"
-#include "engine/pipeline.h"
+#include "arg_parser.h"
 #include "engine/registry.h"
-#include "engine/streaming.h"
+#include "tcm/api.h"
 
 namespace {
 
-struct CliOptions {
-  std::string input;
-  std::string output;
-  std::vector<std::string> qi;
-  std::string confidential;
-  size_t k = 5;
-  double t = 0.1;
-  std::string algorithm = "tclose_first";
-  size_t threads = 1;
-  size_t shard_size = 4096;
-  uint64_t seed = 1;
-  bool stream = false;
-  size_t max_resident_rows = 200000;
-  bool report = false;
-  bool list_algorithms = false;
-};
-
-void PrintUsage() {
-  std::fprintf(
-      stderr,
-      "usage: tcm_anonymize --input FILE --output FILE --qi A,B,...\n"
-      "                     --confidential C [--k N] [--t X]\n"
-      "                     [--algorithm NAME] [--threads N]\n"
-      "                     [--shard-size N] [--seed N] [--stream]\n"
-      "                     [--max-resident-rows N] [--report]\n"
-      "                     [--list-algorithms]\n");
-}
-
-// Strict non-negative integer parse: rejects signs, garbage and overflow
-// (strtoul would wrap "-1" to ULONG_MAX and read "abc" as 0).
-bool ParseSize(const char* text, size_t* out) {
-  if (text == nullptr || *text == '\0') return false;
-  size_t value = 0;
-  for (const char* p = text; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-    size_t digit = static_cast<size_t>(*p - '0');
-    if (value > (SIZE_MAX - digit) / 10) return false;
-    value = value * 10 + digit;
-  }
-  *out = value;
-  return true;
-}
-
-bool ParseSizeFlag(const char* flag, const char* text, size_t* out) {
-  if (text != nullptr && ParseSize(text, out)) return true;
-  std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
-               flag, text == nullptr ? "" : text);
-  return false;
-}
+constexpr char kUsage[] =
+    "usage: tcm_anonymize [--job FILE] [--input FILE] [--output FILE]\n"
+    "                     [--qi A,B,...] [--confidential C]\n"
+    "                     [--k N] [--t X] [--algorithm NAME]\n"
+    "                     [--threads N] [--shard-size N] [--seed N]\n"
+    "                     [--stream] [--max-resident-rows N]\n"
+    "                     [--report] [--report-json FILE]\n"
+    "                     [--list-algorithms]\n";
 
 void PrintAlgorithms() {
   const tcm::AlgorithmRegistry& registry =
@@ -97,212 +52,159 @@ void PrintAlgorithms() {
   }
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    if (flag == "--report") {
-      options->report = true;
-    } else if (flag == "--stream") {
-      options->stream = true;
-    } else if (flag == "--max-resident-rows") {
-      if (!ParseSizeFlag("--max-resident-rows", next(),
-                         &options->max_resident_rows)) {
-        return false;
-      }
-    } else if (flag == "--list-algorithms") {
-      options->list_algorithms = true;
-    } else if (flag == "--input") {
-      const char* v = next();
-      if (!v) return false;
-      options->input = v;
-    } else if (flag == "--output") {
-      const char* v = next();
-      if (!v) return false;
-      options->output = v;
-    } else if (flag == "--qi") {
-      const char* v = next();
-      if (!v) return false;
-      options->qi = tcm::SplitString(v, ',');
-    } else if (flag == "--confidential") {
-      const char* v = next();
-      if (!v) return false;
-      options->confidential = v;
-    } else if (flag == "--k") {
-      if (!ParseSizeFlag("--k", next(), &options->k)) return false;
-    } else if (flag == "--t") {
-      const char* v = next();
-      if (!v || !tcm::ParseDouble(v, &options->t) || options->t < 0.0) {
-        std::fprintf(stderr,
-                     "--t expects a non-negative number, got '%s'\n",
-                     v == nullptr ? "" : v);
-        return false;
-      }
-    } else if (flag == "--algorithm") {
-      const char* v = next();
-      if (!v) return false;
-      options->algorithm = v;
-    } else if (flag == "--threads") {
-      if (!ParseSizeFlag("--threads", next(), &options->threads)) {
-        return false;
-      }
-    } else if (flag == "--shard-size") {
-      if (!ParseSizeFlag("--shard-size", next(), &options->shard_size)) {
-        return false;
-      }
-    } else if (flag == "--seed") {
-      size_t seed = 0;
-      if (!ParseSizeFlag("--seed", next(), &seed)) return false;
-      options->seed = seed;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
-      return false;
-    }
-  }
-  if (options->list_algorithms) return true;
-  return !options->input.empty() && !options->output.empty() &&
-         !options->qi.empty() && !options->confidential.empty();
-}
-
-// Out-of-core path: stream the CSV window by window through the engine
-// under the --max-resident-rows budget.
-int RunStreaming(const CliOptions& options) {
-  auto reader = tcm::StreamingCsvReader::OpenNumeric(options.input);
-  if (!reader.ok()) {
-    std::fprintf(stderr, "%s\n", reader.status().message().c_str());
-    return 1;
-  }
-  auto schema = tcm::SchemaWithRoles((*reader)->schema(), options.qi,
-                                     options.confidential);
-  if (!schema.ok()) {
-    std::fprintf(stderr, "%s\n", schema.status().message().c_str());
-    return 1;
-  }
-  if (auto replaced = (*reader)->ReplaceSchema(std::move(schema).value());
-      !replaced.ok()) {
-    std::fprintf(stderr, "%s\n", replaced.message().c_str());
-    return 1;
-  }
-
-  tcm::StreamingSpec spec;
-  spec.algorithm = options.algorithm;
-  spec.k = options.k;
-  spec.t = options.t;
-  spec.seed = options.seed;
-  spec.shard_size = options.shard_size;
-  spec.max_resident_rows = options.max_resident_rows;
-  spec.verify = true;
-  spec.output_path = options.output;
-
-  tcm::StreamingPipelineRunner runner(options.threads);
-  auto report = runner.Run(reader->get(), spec);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().message().c_str());
-    return 1;
-  }
-
-  if (options.report) {
-    std::printf("records            : %zu\n", report->total_rows);
-    std::printf("algorithm          : %s (streamed)\n",
-                options.algorithm.c_str());
-    std::printf("threads            : %zu\n", report->threads);
+void PrintReport(const tcm::JobSpec& spec, const tcm::RunReport& report) {
+  const bool streamed = report.mode == tcm::ExecutionMode::kStreaming;
+  std::printf("records            : %zu\n", report.rows);
+  std::printf("algorithm          : %s%s\n", report.algorithm.c_str(),
+              streamed ? " (streamed)" : "");
+  std::printf("threads            : %zu\n", report.threads);
+  if (streamed) {
     std::printf("windows            : %zu (budget %zu rows, peak resident "
                 "%zu)\n",
-                report->num_windows, options.max_resident_rows,
-                report->peak_resident_rows);
-    std::printf("shards             : %zu (merges to restore t: %zu)\n",
-                report->num_shards, report->final_merges);
+                report.num_windows, spec.execution.max_resident_rows,
+                report.peak_resident_rows);
+  }
+  std::printf("shards             : %zu (merges to restore t: %zu)\n",
+              report.num_shards, report.final_merges);
+  if (!streamed) {
+    std::printf("clusters           : %zu\n", report.clusters);
+    std::printf("cluster size       : min=%zu avg=%.2f max=%zu\n",
+                report.min_cluster_size, report.average_cluster_size,
+                report.max_cluster_size);
+    std::printf("max cluster EMD    : %.4f (t=%.4f)\n",
+                report.max_cluster_emd, report.t);
+    std::printf("normalized SSE     : %.6f\n", report.normalized_sse);
+    std::printf("verified           : k-anonymity=%s t-closeness=%s\n",
+                report.k_verified ? "yes" : "no",
+                report.t_verified ? "yes" : "no");
+    std::printf(
+        "elapsed            : %.3f s (load %.3f, anonymize %.3f, "
+        "verify %.3f, write %.3f)\n",
+        report.total_seconds, report.load_seconds, report.anonymize_seconds,
+        report.verify_seconds, report.write_seconds);
+  } else {
     std::printf("cluster size       : min=%zu max=%zu\n",
-                report->min_cluster_size, report->max_cluster_size);
+                report.min_cluster_size, report.max_cluster_size);
     std::printf("max cluster EMD    : %.4f (t=%.4f, per window)\n",
-                report->max_cluster_emd, options.t);
+                report.max_cluster_emd, report.t);
     std::printf("normalized SSE     : %.6f (row-weighted over windows)\n",
-                report->normalized_sse);
+                report.normalized_sse);
     std::printf("verified           : k-anonymity=%s t-closeness=%s "
                 "(every window)\n",
-                report->k_verified ? "yes" : "no",
-                report->t_verified ? "yes" : "no");
+                report.k_verified ? "yes" : "no",
+                report.t_verified ? "yes" : "no");
     std::printf(
         "elapsed            : %.3f s (read %.3f, anonymize %.3f, "
         "verify %.3f, write %.3f)\n",
-        report->read_seconds + report->anonymize_seconds +
-            report->verify_seconds + report->write_seconds,
-        report->read_seconds, report->anonymize_seconds,
-        report->verify_seconds, report->write_seconds);
+        report.total_seconds, report.load_seconds, report.anonymize_seconds,
+        report.verify_seconds, report.write_seconds);
   }
-  return 0;
+}
+
+void PrintSweep(const tcm::RunReport& report) {
+  std::printf("sweep              : %zu cells over %zu records\n",
+              report.sweep.size(), report.rows);
+  for (const tcm::SweepOutcome& cell : report.sweep) {
+    if (!cell.error_code.empty()) {
+      std::printf("  %-28s %s: %s\n", cell.label.c_str(),
+                  cell.error_code.c_str(), cell.error.c_str());
+    } else {
+      std::printf("  %-28s SSE=%.4f maxEMD=%.4f clusters=%zu (%.3fs)\n",
+                  cell.label.c_str(), cell.normalized_sse,
+                  cell.max_cluster_emd, cell.clusters,
+                  cell.elapsed_seconds);
+    }
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage();
-    return 2;
-  }
-  if (options.list_algorithms) {
+  std::string job_path, input, output, confidential, algorithm, report_json;
+  std::vector<std::string> qi;
+  size_t k = 0, threads = 0, shard_size = 0, max_resident_rows = 0;
+  uint64_t seed = 0;
+  double t = 0.0;
+  bool stream = false, report_flag = false, list_algorithms = false;
+
+  tcm::tools::ArgParser parser(kUsage);
+  parser.AddString("--job", &job_path);
+  parser.AddString("--input", &input);
+  parser.AddString("--output", &output);
+  parser.AddStringList("--qi", &qi);
+  parser.AddString("--confidential", &confidential);
+  parser.AddSize("--k", &k);
+  parser.AddNonNegativeDouble("--t", &t);
+  parser.AddString("--algorithm", &algorithm);
+  parser.AddSize("--threads", &threads);
+  parser.AddSize("--shard-size", &shard_size);
+  parser.AddUint64("--seed", &seed);
+  parser.AddFlag("--stream", &stream);
+  parser.AddSize("--max-resident-rows", &max_resident_rows);
+  parser.AddFlag("--report", &report_flag);
+  parser.AddString("--report-json", &report_json);
+  parser.AddFlag("--list-algorithms", &list_algorithms);
+  if (!parser.Parse(argc, argv)) return 2;
+
+  if (list_algorithms) {
     PrintAlgorithms();
     return 0;
   }
 
-  // Registry-driven dispatch: validate the name up front so a typo fails
-  // fast, before any CSV is read.
-  if (auto fn = tcm::AlgorithmRegistry::BuiltIns().Find(options.algorithm);
-      !fn.ok()) {
-    std::fprintf(stderr, "%s\n", fn.status().message().c_str());
-    return 1;
+  // The spec: a --job file when given, defaults otherwise; explicit flags
+  // override either.
+  tcm::JobSpec spec;
+  if (!job_path.empty()) {
+    auto loaded = tcm::JobSpec::FromJsonFile(job_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    spec = std::move(loaded).value();
+  }
+  if (parser.Seen("--input")) {
+    spec.input = tcm::JobInput{};
+    spec.input.kind = tcm::InputKind::kCsvPath;
+    spec.input.path = input;
+  }
+  if (parser.Seen("--output")) spec.output.release_path = output;
+  if (parser.Seen("--report-json")) spec.output.report_path = report_json;
+  if (parser.Seen("--qi")) spec.roles.quasi_identifiers = qi;
+  if (parser.Seen("--confidential")) spec.roles.confidential = confidential;
+  if (parser.Seen("--algorithm")) spec.algorithm.name = algorithm;
+  if (parser.Seen("--k")) spec.algorithm.k = k;
+  if (parser.Seen("--t")) spec.algorithm.t = t;
+  if (parser.Seen("--seed")) spec.algorithm.seed = seed;
+  if (parser.Seen("--threads")) spec.execution.threads = threads;
+  if (parser.Seen("--shard-size")) spec.execution.shard_size = shard_size;
+  if (parser.Seen("--stream")) {
+    spec.execution.mode = tcm::ExecutionMode::kStreaming;
+  }
+  if (parser.Seen("--max-resident-rows")) {
+    spec.execution.max_resident_rows = max_resident_rows;
   }
 
-  if (options.stream) return RunStreaming(options);
+  // Without a job file the classic required flags still apply, so the
+  // historical CLI contract is unchanged.
+  if (job_path.empty() &&
+      (spec.input.path.empty() || spec.output.release_path.empty() ||
+       spec.roles.quasi_identifiers.empty() ||
+       spec.roles.confidential.empty())) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
 
-  tcm::PipelineSpec spec;
-  spec.input_path = options.input;
-  spec.output_path = options.output;
-  spec.quasi_identifiers = options.qi;
-  spec.confidential = options.confidential;
-  spec.algorithm = options.algorithm;
-  spec.k = options.k;
-  spec.t = options.t;
-  spec.seed = options.seed;
-  spec.shard_size = options.shard_size;
-  spec.verify = true;
-
-  tcm::PipelineRunner runner(options.threads);
-  auto report = runner.Run(spec);
+  auto report = tcm::RunJob(spec);
   if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().message().c_str());
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
-
-  if (options.report) {
-    const tcm::AnonymizationResult& result = report->result;
-    std::printf("records            : %zu\n",
-                result.anonymized.NumRecords());
-    std::printf("algorithm          : %s\n", options.algorithm.c_str());
-    std::printf("threads            : %zu\n", report->threads);
-    std::printf("shards             : %zu (merges to restore t: %zu)\n",
-                report->num_shards, report->final_merges);
-    std::printf("clusters           : %zu\n",
-                result.partition.NumClusters());
-    std::printf("cluster size       : min=%zu avg=%.2f max=%zu\n",
-                result.min_cluster_size, result.average_cluster_size,
-                result.max_cluster_size);
-    std::printf("max cluster EMD    : %.4f (t=%.4f)\n",
-                result.max_cluster_emd, options.t);
-    std::printf("normalized SSE     : %.6f\n", result.normalized_sse);
-    std::printf("verified           : k-anonymity=%s t-closeness=%s\n",
-                report->k_verified ? "yes" : "no",
-                report->t_verified ? "yes" : "no");
-    std::printf(
-        "elapsed            : %.3f s (load %.3f, anonymize %.3f, "
-        "verify %.3f, write %.3f)\n",
-        report->load_seconds + report->anonymize_seconds +
-            report->verify_seconds + report->write_seconds,
-        report->load_seconds, report->anonymize_seconds,
-        report->verify_seconds, report->write_seconds);
+  if (report_flag) {
+    if (report->swept) {
+      PrintSweep(*report);
+    } else {
+      PrintReport(spec, *report);
+    }
   }
   return 0;
 }

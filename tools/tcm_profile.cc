@@ -10,23 +10,20 @@
 // size Algorithm 3 would use.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "common/strings.h"
+#include "arg_parser.h"
 #include "data/csv.h"
 #include "data/summary.h"
 #include "distance/emd_bounds.h"
 
 namespace {
 
-void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: tcm_profile --input FILE [--qi A,B,...]\n"
-               "                   [--confidential C] [--histogram COL]\n"
-               "                   [--bins N]\n");
-}
+constexpr char kUsage[] =
+    "usage: tcm_profile --input FILE [--qi A,B,...]\n"
+    "                   [--confidential C] [--histogram COL]\n"
+    "                   [--bins N]\n";
 
 }  // namespace
 
@@ -34,38 +31,15 @@ int main(int argc, char** argv) {
   std::string input, histogram_col, confidential;
   std::vector<std::string> qi;
   size_t bins = 10;
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    if (flag == "--input") {
-      const char* v = next();
-      if (!v) break;
-      input = v;
-    } else if (flag == "--qi") {
-      const char* v = next();
-      if (!v) break;
-      qi = tcm::SplitString(v, ',');
-    } else if (flag == "--confidential") {
-      const char* v = next();
-      if (!v) break;
-      confidential = v;
-    } else if (flag == "--histogram") {
-      const char* v = next();
-      if (!v) break;
-      histogram_col = v;
-    } else if (flag == "--bins") {
-      const char* v = next();
-      if (!v) break;
-      bins = static_cast<size_t>(std::strtoul(v, nullptr, 10));
-    } else {
-      PrintUsage();
-      return 2;
-    }
-  }
+  tcm::tools::ArgParser parser(kUsage);
+  parser.AddString("--input", &input);
+  parser.AddStringList("--qi", &qi);
+  parser.AddString("--confidential", &confidential);
+  parser.AddString("--histogram", &histogram_col);
+  parser.AddSize("--bins", &bins);
+  if (!parser.Parse(argc, argv)) return 2;
   if (input.empty()) {
-    PrintUsage();
+    std::fprintf(stderr, "--input is required\n%s", kUsage);
     return 2;
   }
 
