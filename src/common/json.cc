@@ -124,7 +124,10 @@ class Parser {
   }
 
   Result<JsonValue> ParseValue(int depth) {
-    if (depth > kMaxJsonDepth) {
+    // depth counts enclosing containers, so a value at depth N sits at
+    // nesting level N+1: >= (not >) keeps the accepted maximum at
+    // exactly kMaxJsonDepth levels (the fuzz suite pins both sides).
+    if (depth >= kMaxJsonDepth) {
       return Error("document nested deeper than " +
                    std::to_string(kMaxJsonDepth) + " levels");
     }

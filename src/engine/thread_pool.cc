@@ -8,13 +8,16 @@ ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  num_threads_ = num_threads;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -23,15 +26,21 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) {
     worker.join();
   }
+  workers_.clear();  // second Shutdown() finds nothing to join
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // A task enqueued after the stop flag would sit in the queue forever
+    // (workers may already be gone), wedging WaitAll — reject instead so
+    // the caller's future reports broken_promise.
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitAll() {

@@ -30,16 +30,18 @@ class ThreadPool {
   // order on its one worker.
   explicit ThreadPool(size_t num_threads = 0);
 
-  // Drains nothing: outstanding tasks are finished, then workers join.
+  // Calls Shutdown(): outstanding tasks are finished, then workers join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return num_threads_; }
 
   // Enqueues `fn` and returns a future for its result. `fn` must be
   // invocable with no arguments; exceptions propagate through the future.
+  // After Shutdown() the task is rejected: it never runs and the returned
+  // future reports std::future_error(broken_promise) from get().
   template <typename F>
   auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -47,6 +49,9 @@ class ThreadPool {
     // copyable so it fits in std::function.
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> future = task->get_future();
+    // On rejection both references to the packaged_task are dropped
+    // without invoking it, which breaks its promise — the documented
+    // submit-after-shutdown signal.
     Enqueue([task]() { (*task)(); });
     return future;
   }
@@ -55,10 +60,19 @@ class ThreadPool {
   // Tasks submitted while waiting are waited for too.
   void WaitAll();
 
+  // Graceful stop, the pool's cancellation boundary: rejects every task
+  // submitted from this point on, finishes the queued and running ones,
+  // and joins the workers. Idempotent; safe to call concurrently with
+  // Submit from other threads (their tasks either run to completion or
+  // are rejected, never lost silently).
+  void Shutdown();
+
  private:
-  void Enqueue(std::function<void()> task);
+  // Returns false (dropping the task) once Shutdown has begun.
+  bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
+  size_t num_threads_ = 0;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;

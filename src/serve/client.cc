@@ -1,0 +1,100 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tcm {
+
+Result<ServeClient> ServeClient::Connect(const std::string& host,
+                                         uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("host must be a numeric IPv4 address, "
+                                   "got \"" + host + "\"");
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    Status status = Status::IoError("cannot connect to " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  ServeClient client{LineChannel(fd)};
+  TCM_ASSIGN_OR_RETURN(JsonValue hello, client.ReadEvent());
+  const JsonValue* event = hello.Find("event");
+  const JsonValue* protocol = hello.Find("protocol");
+  if (event == nullptr || !event->is_string() ||
+      event->string_value() != "hello" || protocol == nullptr) {
+    return Status::IoError("peer did not send a tcm_serve hello");
+  }
+  TCM_ASSIGN_OR_RETURN(uint64_t version, protocol->GetUint());
+  if (version != static_cast<uint64_t>(kServeProtocolVersion)) {
+    return Status::FailedPrecondition(
+        "server speaks protocol version " + std::to_string(version) +
+        ", this client speaks " + std::to_string(kServeProtocolVersion));
+  }
+  client.protocol_ = static_cast<int>(version);
+  return client;
+}
+
+Status ServeClient::Send(const ServeRequest& request) {
+  return SendText(request.ToJsonText());
+}
+
+Status ServeClient::Send(const JsonValue& request) {
+  return SendText(request.Write(-1));
+}
+
+Status ServeClient::SendText(const std::string& line) {
+  return channel_.WriteLine(line);
+}
+
+Result<JsonValue> ServeClient::ReadEvent() {
+  TCM_ASSIGN_OR_RETURN(std::string line, channel_.ReadLine());
+  return ParseJson(line);
+}
+
+Result<JsonValue> ServeClient::SubmitAndWait(JsonValue spec_json) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("verb", "submit");
+  request.Set("spec", std::move(spec_json));
+  TCM_RETURN_IF_ERROR(Send(request));
+
+  while (true) {
+    TCM_ASSIGN_OR_RETURN(JsonValue event, ReadEvent());
+    const JsonValue* name = event.Find("event");
+    if (name == nullptr || !name->is_string()) {
+      return Status::IoError("peer sent an event without a name");
+    }
+    if (name->string_value() == "error") return event;
+    if (name->string_value() == "state") {
+      const JsonValue* state = event.Find("state");
+      if (state != nullptr && state->is_string()) {
+        const std::string& value = state->string_value();
+        if (value == "succeeded" || value == "failed" ||
+            value == "cancelled") {
+          return event;
+        }
+      }
+    }
+    // accepted / non-terminal state events: keep streaming.
+  }
+}
+
+}  // namespace tcm

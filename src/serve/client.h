@@ -1,0 +1,58 @@
+#ifndef TCM_SERVE_CLIENT_H_
+#define TCM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace tcm {
+
+// Minimal blocking client for the tcm_serve protocol, shared by the
+// tcm_submit tool and the integration tests. One instance is one
+// connection; requests on it are serialized by the caller (the daemon
+// answers a connection's requests in order).
+class ServeClient {
+ public:
+  // Connects and consumes the server's hello event. kIoError when the
+  // daemon is not reachable, kInvalidArgument for a non-numeric host,
+  // kFailedPrecondition when the peer speaks a different protocol
+  // version.
+  static Result<ServeClient> Connect(const std::string& host,
+                                     uint16_t port);
+
+  ServeClient(ServeClient&&) noexcept = default;
+  ServeClient& operator=(ServeClient&&) noexcept = default;
+
+  // Protocol version announced by the server's hello.
+  int protocol() const { return protocol_; }
+
+  Status Send(const ServeRequest& request);
+  Status Send(const JsonValue& request);
+  // Raw line, for probing the server with deliberately malformed input.
+  Status SendText(const std::string& line);
+
+  // Next event object from the server. kIoError when the connection is
+  // gone, kInvalidArgument when the peer sent a non-JSON line.
+  Result<JsonValue> ReadEvent();
+
+  // Submits `spec_json` (a JobSpec document; it is NOT validated client
+  // side — the server is the authority) and blocks until the exchange
+  // resolves. Returns the terminal "state" event on normal completion,
+  // or the "error" event when the server refused the submission; socket
+  // failures are the only error Status.
+  Result<JsonValue> SubmitAndWait(JsonValue spec_json);
+
+ private:
+  explicit ServeClient(LineChannel channel)
+      : channel_(std::move(channel)) {}
+
+  LineChannel channel_;
+  int protocol_ = 0;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_SERVE_CLIENT_H_

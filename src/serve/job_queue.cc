@@ -1,0 +1,196 @@
+#include "serve/job_queue.h"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "api/report.h"
+#include "api/runner.h"
+#include "common/check.h"
+
+namespace tcm {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSucceeded:
+      return "succeeded";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool IsTerminalJobState(JobState state) {
+  return state == JobState::kSucceeded || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+JobQueue::JobQueue(ThreadPool* pool, size_t max_pending)
+    : pool_(pool), max_pending_(max_pending == 0 ? 1 : max_pending) {
+  TCM_CHECK(pool != nullptr) << "JobQueue requires a ThreadPool";
+}
+
+JobQueue::~JobQueue() { Drain(); }
+
+JobSnapshot JobQueue::SnapshotLocked(const Record& record) const {
+  JobSnapshot snapshot;
+  snapshot.id = record.id;
+  snapshot.state = record.state;
+  snapshot.error_code = record.error_code;
+  snapshot.error = record.error;
+  snapshot.report = record.report;
+  return snapshot;
+}
+
+Result<uint64_t> JobQueue::Submit(JobSpec spec) {
+  std::shared_ptr<Record> record;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return Status::FailedPrecondition(
+          "server is draining and no longer accepts jobs");
+    }
+    if (active_ >= max_pending_) {
+      return Status::FailedPrecondition(
+          "job queue is full (" + std::to_string(active_) + " of " +
+          std::to_string(max_pending_) + " slots pending); retry later");
+    }
+    record = std::make_shared<Record>();
+    record->id = next_id_++;
+    record->spec = std::move(spec);
+    jobs_.emplace(record->id, record);
+    ++active_;
+    ++tasks_in_pool_;
+  }
+  // The future is intentionally dropped: completion is observed through
+  // WaitForChange, and a packaged_task future does not block on destroy.
+  pool_->Submit([this, record]() { Execute(record); });
+  return record->id;
+}
+
+void JobQueue::Execute(const std::shared_ptr<Record>& record) {
+  JobSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TCM_CHECK(tasks_in_pool_ > 0) << "task entered with no pool count";
+    --tasks_in_pool_;
+    if (record->state != JobState::kQueued) {  // cancelled in queue
+      changed_.notify_all();  // Drain may be waiting on tasks_in_pool_
+      return;
+    }
+    record->state = JobState::kRunning;
+    // Move, don't copy: a spec can carry a large inline dataset, and a
+    // copy here would both stall every queue operation for its duration
+    // and stay pinned in jobs_ after the job is done. The record is
+    // never executed twice, so nothing reads the spec again.
+    spec = std::move(record->spec);
+    changed_.notify_all();
+  }
+
+  // The library's public surface reports through Status, but a job can
+  // still throw (std::bad_alloc on a huge input, a third-party
+  // registered algorithm). The pool's packaged_task would capture the
+  // exception into a future nobody holds — the record would stay
+  // kRunning forever and Drain() would never return — so convert to the
+  // taxonomy here instead.
+  Result<RunReport> outcome = Status::Internal("unreachable");
+  try {
+    outcome = RunJob(spec);
+  } catch (const std::exception& error) {
+    outcome = Status::Internal(std::string("job threw: ") + error.what());
+  } catch (...) {
+    outcome = Status::Internal("job threw a non-standard exception");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (outcome.ok()) {
+      record->state = JobState::kSucceeded;
+      // The report JSON never embeds the in-memory release dataset, so
+      // the retained document stays small even for large jobs.
+      record->report =
+          std::make_shared<const JsonValue>(outcome->ToJson());
+    } else {
+      record->state = JobState::kFailed;
+      record->error_code = StatusCodeName(outcome.status().code());
+      record->error = outcome.status().message();
+    }
+    TCM_CHECK(active_ > 0) << "job finished with no active count";
+    --active_;
+    changed_.notify_all();
+  }
+}
+
+Result<JobSnapshot> JobQueue::Status(uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(job_id));
+  }
+  return SnapshotLocked(*it->second);
+}
+
+Result<JobSnapshot> JobQueue::Cancel(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(job_id));
+  }
+  Record& record = *it->second;
+  if (record.state == JobState::kQueued) {
+    record.state = JobState::kCancelled;
+    // Release the payload like Execute does for run jobs — a cancelled
+    // spec (possibly carrying an inline dataset) must not stay pinned
+    // in the retained record.
+    record.spec = JobSpec();
+    TCM_CHECK(active_ > 0) << "queued job with no active count";
+    --active_;
+    changed_.notify_all();
+  }
+  return SnapshotLocked(record);
+}
+
+Result<JobSnapshot> JobQueue::WaitForChange(uint64_t job_id,
+                                            JobState seen) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(job_id));
+  }
+  const std::shared_ptr<Record> record = it->second;
+  changed_.wait(lock, [&]() { return record->state != seen; });
+  return SnapshotLocked(*record);
+}
+
+size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+size_t JobQueue::total_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+void JobQueue::CloseSubmissions() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+void JobQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  // tasks_in_pool_ too: a task for a cancelled-while-queued job still
+  // captures this queue and must have entered (and bounced off) before
+  // the queue can be destroyed.
+  changed_.wait(lock,
+                [this]() { return active_ == 0 && tasks_in_pool_ == 0; });
+}
+
+}  // namespace tcm

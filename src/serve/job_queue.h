@@ -1,0 +1,140 @@
+#ifndef TCM_SERVE_JOB_QUEUE_H_
+#define TCM_SERVE_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/job.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "engine/thread_pool.h"
+
+namespace tcm {
+
+// Lifecycle of a served job. kQueued and kRunning are transient; the
+// other three are terminal and never change again.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kCancelled,
+};
+
+// Stable lower-case wire name ("queued", "running", ...).
+const char* JobStateName(JobState state);
+
+bool IsTerminalJobState(JobState state);
+
+// Point-in-time copy of one job's externally visible state. error_code /
+// error are filled for kFailed (error_code is the StatusCodeName of the
+// failure, e.g. "IoError"); report holds the final RunReport JSON for
+// kSucceeded. Copies are cheap — the report is shared, not duplicated.
+struct JobSnapshot {
+  uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::string error_code;
+  std::string error;
+  std::shared_ptr<const JsonValue> report;
+};
+
+// Bounded in-process job queue over a shared ThreadPool: the execution
+// core of the tcm_serve daemon, usable on its own by embedders. Submit
+// assigns a monotonically increasing job id and hands the JobSpec to the
+// pool; jobs run through the public RunJob facade, so every execution
+// mode and error-taxonomy code behaves exactly as it does in-process.
+//
+// Backpressure: at most `max_pending` jobs may be queued or running at
+// once; Submit past the bound fails with kFailedPrecondition instead of
+// buffering without limit. Completed jobs are kept for status queries
+// for the lifetime of the queue (bounded-retention eviction is a listed
+// follow-on in ROADMAP.md).
+//
+// Thread safety: every method may be called from any thread. The pool
+// must outlive the queue and must not be Shutdown() before Drain()
+// returns.
+class JobQueue {
+ public:
+  // `pool` is borrowed, not owned.
+  JobQueue(ThreadPool* pool, size_t max_pending);
+
+  // Drains before destruction so no worker task outlives the queue.
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Enqueues the job and returns its id. kFailedPrecondition when the
+  // queue is full or draining. The spec is validated by RunJob on a pool
+  // worker, so spec errors surface as a kFailed snapshot, not here.
+  Result<uint64_t> Submit(JobSpec spec);
+
+  // kNotFound for an id never returned by Submit.
+  Result<JobSnapshot> Status(uint64_t job_id) const;
+
+  // Best-effort cancellation: a kQueued job transitions to kCancelled
+  // and never runs; a running or already-terminal job is left untouched.
+  // Either way the returned snapshot shows the job's resulting state, so
+  // callers observe whether the cancel won the race. kNotFound for an
+  // unknown id.
+  Result<JobSnapshot> Cancel(uint64_t job_id);
+
+  // Blocks until the job's state differs from `seen`, then returns the
+  // new snapshot (immediately when it already differs). Terminal states
+  // never change, so waiting on one returns only through a caller bug —
+  // pass the state last observed. kNotFound for an unknown id.
+  Result<JobSnapshot> WaitForChange(uint64_t job_id, JobState seen) const;
+
+  // Queued + running jobs right now.
+  size_t pending() const;
+
+  // Jobs ever submitted (any state).
+  size_t total_jobs() const;
+
+  // Rejects all further Submits from this point on without blocking:
+  // the instant half of shutdown, safe to call from a connection
+  // handler. Idempotent.
+  void CloseSubmissions();
+
+  // CloseSubmissions() plus blocking until every queued or running job
+  // reaches a terminal state: the graceful-drain half of daemon
+  // shutdown. Idempotent.
+  void Drain();
+
+ private:
+  struct Record {
+    uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::string error_code;
+    std::string error;
+    std::shared_ptr<const JsonValue> report;
+  };
+
+  JobSnapshot SnapshotLocked(const Record& record) const;
+  void Execute(const std::shared_ptr<Record>& record);
+
+  ThreadPool* pool_;
+  const size_t max_pending_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable changed_;  // any state transition
+  bool draining_ = false;
+  uint64_t next_id_ = 1;
+  size_t active_ = 0;  // queued + running
+  // Pool tasks submitted but not yet entered. Distinct from active_: a
+  // job cancelled while queued leaves active_ immediately, but its pool
+  // task (which captures this queue) still sits in the pool until a
+  // worker pops it — Drain() must outlast that task too, or destroying
+  // the queue after Drain() would leave the task dangling.
+  size_t tasks_in_pool_ = 0;
+  std::map<uint64_t, std::shared_ptr<Record>> jobs_;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_SERVE_JOB_QUEUE_H_

@@ -1,0 +1,285 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tcm {
+namespace {
+
+Result<ServeVerb> VerbFromName(const std::string& name) {
+  if (name == "submit") return ServeVerb::kSubmit;
+  if (name == "status") return ServeVerb::kStatus;
+  if (name == "cancel") return ServeVerb::kCancel;
+  if (name == "shutdown") return ServeVerb::kShutdown;
+  if (name == "ping") return ServeVerb::kPing;
+  return Status::InvalidArgument(
+      "unknown verb \"" + name +
+      "\" (expected submit, status, cancel, shutdown or ping)");
+}
+
+JsonValue MakeEvent(const char* event, const std::optional<uint64_t>& id) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("event", event);
+  if (id.has_value()) object.Set("id", static_cast<double>(*id));
+  return object;
+}
+
+}  // namespace
+
+const char* ServeVerbName(ServeVerb verb) {
+  switch (verb) {
+    case ServeVerb::kSubmit:
+      return "submit";
+    case ServeVerb::kStatus:
+      return "status";
+    case ServeVerb::kCancel:
+      return "cancel";
+    case ServeVerb::kShutdown:
+      return "shutdown";
+    case ServeVerb::kPing:
+      return "ping";
+  }
+  return "unknown";
+}
+
+Result<ServeRequest> ServeRequest::FromJsonText(std::string_view line) {
+  TCM_ASSIGN_OR_RETURN(JsonValue json, ParseJson(line));
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  ServeRequest request;
+  const JsonValue* verb = json.Find("verb");
+  if (verb == nullptr) {
+    return Status::InvalidArgument("request is missing \"verb\"");
+  }
+  TCM_ASSIGN_OR_RETURN(std::string verb_name, verb->GetString());
+  TCM_ASSIGN_OR_RETURN(request.verb, VerbFromName(verb_name));
+
+  for (const JsonValue::Member& member : json.members()) {
+    const std::string& key = member.first;
+    const JsonValue& value = member.second;
+    if (key == "verb") continue;
+    if (key == "id") {
+      TCM_ASSIGN_OR_RETURN(uint64_t id, value.GetUint());
+      request.id = id;
+      continue;
+    }
+    if (key == "job") {
+      if (request.verb != ServeVerb::kStatus &&
+          request.verb != ServeVerb::kCancel) {
+        return Status::InvalidArgument("\"job\" only applies to status "
+                                       "and cancel requests");
+      }
+      TCM_ASSIGN_OR_RETURN(uint64_t job, value.GetUint());
+      request.job = job;
+      continue;
+    }
+    if (key == "spec") {
+      if (request.verb != ServeVerb::kSubmit) {
+        return Status::InvalidArgument(
+            "\"spec\" only applies to submit requests");
+      }
+      TCM_ASSIGN_OR_RETURN(request.spec, JobSpec::FromJson(value));
+      continue;
+    }
+    if (key == "wait") {
+      if (request.verb != ServeVerb::kSubmit) {
+        return Status::InvalidArgument(
+            "\"wait\" only applies to submit requests");
+      }
+      TCM_ASSIGN_OR_RETURN(request.wait, value.GetBool());
+      continue;
+    }
+    return Status::InvalidArgument("unknown request key \"" + key + "\"");
+  }
+
+  if (request.verb == ServeVerb::kSubmit && !request.spec.has_value()) {
+    return Status::InvalidArgument("submit request is missing \"spec\"");
+  }
+  if ((request.verb == ServeVerb::kStatus ||
+       request.verb == ServeVerb::kCancel) &&
+      !request.job.has_value()) {
+    return Status::InvalidArgument(
+        std::string(ServeVerbName(request.verb)) +
+        " request is missing \"job\"");
+  }
+  return request;
+}
+
+JsonValue ServeRequest::ToJson() const {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("verb", ServeVerbName(verb));
+  if (id.has_value()) object.Set("id", static_cast<double>(*id));
+  if (job.has_value()) object.Set("job", static_cast<double>(*job));
+  if (spec.has_value()) object.Set("spec", spec->ToJson());
+  if (verb == ServeVerb::kSubmit && !wait) object.Set("wait", false);
+  return object;
+}
+
+std::string ServeRequest::ToJsonText() const { return ToJson().Write(-1); }
+
+JsonValue MakeHelloEvent(size_t max_pending) {
+  JsonValue event = MakeEvent("hello", std::nullopt);
+  event.Set("protocol", kServeProtocolVersion);
+  event.Set("max_pending", max_pending);
+  return event;
+}
+
+JsonValue MakeErrorEvent(const std::optional<uint64_t>& id,
+                         const Status& status) {
+  JsonValue event = MakeEvent("error", id);
+  event.Set("code", StatusCodeName(status.code()));
+  event.Set("message", status.message());
+  return event;
+}
+
+JsonValue MakeAcceptedEvent(const std::optional<uint64_t>& id, uint64_t job,
+                            size_t pending) {
+  JsonValue event = MakeEvent("accepted", id);
+  event.Set("job", static_cast<double>(job));
+  event.Set("state", JobStateName(JobState::kQueued));
+  event.Set("pending", pending);
+  return event;
+}
+
+JsonValue MakeStateEvent(const std::optional<uint64_t>& id,
+                         const JobSnapshot& snapshot) {
+  JsonValue event = MakeEvent("state", id);
+  event.Set("job", static_cast<double>(snapshot.id));
+  event.Set("state", JobStateName(snapshot.state));
+  if (snapshot.state == JobState::kFailed) {
+    event.Set("code", snapshot.error_code);
+    event.Set("message", snapshot.error);
+  }
+  if (snapshot.state == JobState::kSucceeded && snapshot.report != nullptr) {
+    event.Set("report", *snapshot.report);
+  }
+  return event;
+}
+
+JsonValue MakePongEvent(const std::optional<uint64_t>& id, size_t pending,
+                        size_t total_jobs) {
+  JsonValue event = MakeEvent("pong", id);
+  event.Set("protocol", kServeProtocolVersion);
+  event.Set("pending", pending);
+  event.Set("jobs", total_jobs);
+  return event;
+}
+
+JsonValue MakeDrainingEvent(const std::optional<uint64_t>& id) {
+  return MakeEvent("draining", id);
+}
+
+// --------------------------------------------------------------- LineChannel
+
+LineChannel::LineChannel(int fd) : fd_(fd) {
+#if !defined(MSG_NOSIGNAL) && defined(SO_NOSIGPIPE)
+  // No per-send flag on this platform (macOS/BSD): suppress SIGPIPE at
+  // the socket level so a vanished peer surfaces as EPIPE, not a
+  // process kill — the library must not depend on the hosting binary
+  // ignoring SIGPIPE.
+  if (fd_ >= 0) {
+    int on = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &on, sizeof(on));
+  }
+#endif
+}
+
+LineChannel::~LineChannel() { Close(); }
+
+LineChannel::LineChannel(LineChannel&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineChannel& LineChannel::operator=(LineChannel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status LineChannel::WriteLine(const std::string& line) {
+  if (fd_ < 0) return Status::IoError("write on closed channel");
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+#ifdef MSG_NOSIGNAL
+    // Suppress SIGPIPE so a vanished peer surfaces as EPIPE, not a
+    // process kill.
+    const int flags = MSG_NOSIGNAL;
+#else
+    const int flags = 0;
+#endif
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       flags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> LineChannel::ReadLine() {
+  if (fd_ < 0) return Status::IoError("read on closed channel");
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      buffer_.clear();
+      return Status::IoError("line exceeds " +
+                             std::to_string(kMaxLineBytes) +
+                             " bytes; dropping connection");
+    }
+    if (n == 0) {
+      // Treat a final unterminated line as a message of its own so a
+      // peer that writes-then-closes without a trailing newline is
+      // still understood.
+      if (!buffer_.empty()) {
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      return Status::IoError("connection closed");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineChannel::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void LineChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace tcm

@@ -1,0 +1,134 @@
+#ifndef TCM_SERVE_PROTOCOL_H_
+#define TCM_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/job.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "serve/job_queue.h"
+
+namespace tcm {
+
+// ---------------------------------------------------------------------------
+// Wire protocol of the tcm_serve daemon: newline-delimited JSON over a
+// TCP socket (one request or event per line, no external dependencies).
+// A client connects, reads the server's "hello" event, then writes
+// request objects and reads event objects. The JobSpec payload is the
+// public Job API document unchanged — the daemon is the JSON contract of
+// api/job.h put on a socket. See README.md ("Serving jobs").
+//
+// Requests ({"verb": ..., ...}, strict like every JSON surface here —
+// unknown keys are errors):
+//   submit   {"verb":"submit","spec":{...JobSpec...}[,"id":N][,"wait":B]}
+//   status   {"verb":"status","job":N[,"id":N]}
+//   cancel   {"verb":"cancel","job":N[,"id":N]}
+//   shutdown {"verb":"shutdown"[,"id":N]}   graceful drain, then exit
+//   ping     {"verb":"ping"[,"id":N]}
+//
+// Events (every one carries "event"; "id" echoes the request's id when
+// it had one):
+//   hello    {"event":"hello","protocol":1,"max_pending":N}
+//   error    {"event":"error","code":"InvalidSpec","message":...}
+//   accepted {"event":"accepted","job":N,"state":"queued","pending":P}
+//   state    {"event":"state","job":N,"state":...}; terminal states add
+//            "report" (succeeded) or "code"/"message" (failed)
+//   pong     {"event":"pong","protocol":1,"pending":P,"jobs":J}
+//   draining {"event":"draining"}
+//
+// A waited submit streams accepted, then one state event per observed
+// transition, ending with a terminal state. Error taxonomy codes travel
+// as StatusCodeName strings in "code", so a client branches on the same
+// names as an in-process caller.
+// ---------------------------------------------------------------------------
+
+// Version of the framing described above. Bumped on incompatible
+// changes; the JobSpec payload is versioned separately by its own
+// "version" key.
+inline constexpr int kServeProtocolVersion = 1;
+
+// Hard ceiling on one protocol line (either direction). Far above any
+// real JobSpec or RunReport, it exists so a peer streaming bytes with
+// no newline exhausts this bound (kIoError, connection dropped) instead
+// of the process's memory.
+inline constexpr size_t kMaxLineBytes = 16u << 20;  // 16 MiB
+
+enum class ServeVerb { kSubmit, kStatus, kCancel, kShutdown, kPing };
+
+const char* ServeVerbName(ServeVerb verb);
+
+struct ServeRequest {
+  ServeVerb verb = ServeVerb::kPing;
+  std::optional<uint64_t> id;   // client correlation id, echoed in events
+  std::optional<uint64_t> job;  // status / cancel target
+  std::optional<JobSpec> spec;  // submit payload
+  bool wait = true;             // submit: stream events to terminal state
+
+  // Strict parse of one request line. Malformed JSON is
+  // kInvalidArgument; a structurally valid request with a bad JobSpec
+  // fails with the spec's own taxonomy code (kInvalidSpec /
+  // kUnknownAlgorithm), which the server echoes over the wire.
+  static Result<ServeRequest> FromJsonText(std::string_view line);
+
+  JsonValue ToJson() const;
+  std::string ToJsonText() const;  // compact single line
+};
+
+// Event builders (server side; exposed for tests and embedders).
+JsonValue MakeHelloEvent(size_t max_pending);
+JsonValue MakeErrorEvent(const std::optional<uint64_t>& id,
+                         const Status& status);
+JsonValue MakeAcceptedEvent(const std::optional<uint64_t>& id, uint64_t job,
+                            size_t pending);
+JsonValue MakeStateEvent(const std::optional<uint64_t>& id,
+                         const JobSnapshot& snapshot);
+JsonValue MakePongEvent(const std::optional<uint64_t>& id, size_t pending,
+                        size_t total_jobs);
+JsonValue MakeDrainingEvent(const std::optional<uint64_t>& id);
+
+// ---------------------------------------------------------------------------
+// LineChannel: blocking newline-delimited IO over a connected socket fd,
+// the transport both ends of the protocol share. Owns the fd.
+// ---------------------------------------------------------------------------
+class LineChannel {
+ public:
+  // Takes ownership of `fd` (-1 constructs an invalid channel).
+  explicit LineChannel(int fd = -1);
+  ~LineChannel();
+
+  LineChannel(LineChannel&& other) noexcept;
+  LineChannel& operator=(LineChannel&& other) noexcept;
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes `line` plus a trailing newline, looping until every byte is
+  // sent. kIoError when the peer is gone. `line` must not itself contain
+  // a newline (that would frame two messages).
+  Status WriteLine(const std::string& line);
+
+  // Reads up to the next newline (stripped from the result). kIoError on
+  // socket errors and at end of stream.
+  Result<std::string> ReadLine();
+
+  // Shuts down the read side only: a ReadLine blocked in another thread
+  // wakes with end-of-stream, while writes still flush. This is how the
+  // server nudges idle connections during graceful drain without eating
+  // their final events.
+  void ShutdownRead();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned line
+};
+
+}  // namespace tcm
+
+#endif  // TCM_SERVE_PROTOCOL_H_

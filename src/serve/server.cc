@@ -1,0 +1,290 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace tcm {
+
+JobServer::JobServer(ServeOptions options) : options_(std::move(options)) {
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  queue_ = std::make_unique<JobQueue>(pool_.get(), options_.max_pending);
+}
+
+JobServer::~JobServer() {
+  RequestShutdown();
+  Wait();
+}
+
+Status JobServer::Start() {
+  if (started_) return Status::FailedPrecondition("Start() called twice");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("host must be a numeric IPv4 address, "
+                                   "got \"" + options_.host + "\"");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) <
+      0) {
+    Status status = Status::IoError("cannot bind " + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status = Status::IoError(std::string("listen failed: ") +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    Status status = Status::IoError(std::string("getsockname failed: ") +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  listen_fd_ = fd;
+  started_ = true;
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void JobServer::RequestShutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Wake the accept loop: a shutdown() on a listening socket makes the
+  // blocked accept() return with an error on every mainstream platform.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Reject submissions immediately — drain itself happens in Wait().
+  queue_->CloseSubmissions();
+  {
+    // Pairs with Wait()'s predicate check: without this, a notify could
+    // land between the waiter's check and its sleep and be lost.
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  }
+  shutdown_requested_.notify_all();
+}
+
+void JobServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_.wait(lock, [this]() { return stopping_.load(); });
+  }
+  if (finished_) return;
+  finished_ = true;
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Finish every queued and running job first — connection handlers
+  // blocked in WaitForChange receive the terminal events while their
+  // sockets are still fully open.
+  queue_->Drain();
+
+  // Wake handlers idling in ReadLine with end-of-stream; the write side
+  // stays up so in-flight final events still reach the client.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const std::unique_ptr<Connection>& connection : connections) {
+    connection->channel.ShutdownRead();
+  }
+  for (const std::unique_ptr<Connection>& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  connections.clear();  // closes the sockets
+
+  pool_->Shutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void JobServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors is transient under load: back off briefly
+        // instead of permanently refusing all future connections.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;  // listener shut down (or a fatal accept error): stop
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->channel = LineChannel(fd);
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      ReapFinishedConnectionsLocked();
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
+  }
+  // If the loop died on an unexpected accept() error rather than an
+  // orderly stop, turn it into a drain: a daemon that looks healthy but
+  // can never accept again must exit, not linger as a zombie.
+  if (!stopping_.load()) RequestShutdown();
+}
+
+// Long-running daemons see many short-lived connections; joining the
+// finished ones on each accept keeps the table from growing without
+// bound.
+void JobServer::ReapFinishedConnectionsLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void JobServer::HandleConnection(Connection* connection) {
+  LineChannel* channel = &connection->channel;
+  if (channel->WriteLine(MakeHelloEvent(options_.max_pending).Write(-1))
+          .ok()) {
+    while (true) {
+      auto line = channel->ReadLine();
+      if (!line.ok()) break;  // peer closed (or drain woke us)
+      if (line->find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (!HandleRequest(channel, *line)) break;
+    }
+  }
+  connection->done.store(true);
+}
+
+bool JobServer::HandleRequest(LineChannel* channel,
+                              const std::string& line) {
+  auto parsed = ServeRequest::FromJsonText(line);
+  if (!parsed.ok()) {
+    // One bad line does not poison the connection: report and carry on,
+    // like the CLI rejecting one malformed invocation.
+    return channel->WriteLine(
+        MakeErrorEvent(std::nullopt, parsed.status()).Write(-1)).ok();
+  }
+  ServeRequest& request = *parsed;
+
+  switch (request.verb) {
+    case ServeVerb::kPing:
+      return channel
+          ->WriteLine(MakePongEvent(request.id, queue_->pending(),
+                                    queue_->total_jobs())
+                          .Write(-1))
+          .ok();
+
+    case ServeVerb::kStatus: {
+      auto snapshot = queue_->Status(*request.job);
+      if (!snapshot.ok()) {
+        return channel
+            ->WriteLine(MakeErrorEvent(request.id, snapshot.status())
+                            .Write(-1))
+            .ok();
+      }
+      return channel->WriteLine(MakeStateEvent(request.id, *snapshot)
+                                    .Write(-1)).ok();
+    }
+
+    case ServeVerb::kCancel: {
+      auto snapshot = queue_->Cancel(*request.job);
+      if (!snapshot.ok()) {
+        return channel
+            ->WriteLine(MakeErrorEvent(request.id, snapshot.status())
+                            .Write(-1))
+            .ok();
+      }
+      return channel->WriteLine(MakeStateEvent(request.id, *snapshot)
+                                    .Write(-1)).ok();
+    }
+
+    case ServeVerb::kShutdown: {
+      if (!options_.allow_remote_shutdown) {
+        return channel
+            ->WriteLine(MakeErrorEvent(request.id,
+                                       Status::Unimplemented(
+                                           "remote shutdown is disabled"))
+                            .Write(-1))
+            .ok();
+      }
+      if (!channel->WriteLine(MakeDrainingEvent(request.id).Write(-1))
+               .ok()) {
+        return false;
+      }
+      // Only flags are set here; the drain itself runs in Wait(), so a
+      // connection handler can safely request it.
+      RequestShutdown();
+      return true;
+    }
+
+    case ServeVerb::kSubmit: {
+      auto job_id = queue_->Submit(std::move(*request.spec));
+      if (!job_id.ok()) {
+        return channel
+            ->WriteLine(MakeErrorEvent(request.id, job_id.status())
+                            .Write(-1))
+            .ok();
+      }
+      if (!channel
+               ->WriteLine(MakeAcceptedEvent(request.id, *job_id,
+                                             queue_->pending())
+                               .Write(-1))
+               .ok()) {
+        return false;
+      }
+      if (!request.wait) return true;
+      JobState seen = JobState::kQueued;
+      while (true) {
+        auto snapshot = queue_->WaitForChange(*job_id, seen);
+        if (!snapshot.ok()) {
+          return channel
+              ->WriteLine(MakeErrorEvent(request.id, snapshot.status())
+                              .Write(-1))
+              .ok();
+        }
+        if (!channel->WriteLine(MakeStateEvent(request.id, *snapshot)
+                                    .Write(-1)).ok()) {
+          return false;
+        }
+        if (IsTerminalJobState(snapshot->state)) return true;
+        seen = snapshot->state;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tcm

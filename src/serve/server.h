@@ -1,0 +1,117 @@
+#ifndef TCM_SERVE_SERVER_H_
+#define TCM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/job_queue.h"
+#include "serve/protocol.h"
+
+namespace tcm {
+
+struct ServeOptions {
+  // Bind address. Numeric IPv4 only; the daemon is designed to sit on
+  // loopback behind a fronting proxy, not on the open internet.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 binds an ephemeral port (read it from port())
+
+  // Workers in the shared job pool; 0 means one per hardware thread.
+  size_t threads = 0;
+
+  // Backpressure bound: queued + running jobs before submits are
+  // rejected with kFailedPrecondition.
+  size_t max_pending = 64;
+
+  // Honor the remote "shutdown" verb. Off, the verb is refused with
+  // kUnimplemented and only RequestShutdown()/signals stop the daemon.
+  bool allow_remote_shutdown = true;
+};
+
+// JobServer: the long-running tcm_serve daemon core. Listens on a TCP
+// socket, speaks the newline-delimited JSON protocol of
+// serve/protocol.h, and executes submitted JobSpecs on one shared
+// ThreadPool through a bounded JobQueue. Embeddable: tests boot it
+// in-process on an ephemeral port; tools/tcm_serve.cc wraps it with
+// signal handling.
+//
+// Lifecycle: Start() binds and spawns the accept loop, then each
+// connection gets a handler thread (requests on one connection are
+// served in order; concurrency comes from concurrent connections and
+// the shared pool). RequestShutdown() — from any thread, a connection's
+// shutdown verb, or a signal watcher — stops accepting connections and
+// jobs; Wait() then drains every outstanding job, delivers the final
+// events, closes connections and joins every thread: the graceful-drain
+// contract the test wall pins.
+class JobServer {
+ public:
+  explicit JobServer(ServeOptions options = {});
+
+  // RequestShutdown() + Wait() if still running.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  // Binds, listens and starts accepting. kIoError when the address
+  // cannot be bound. Call once.
+  Status Start();
+
+  // The bound port (the ephemeral pick when options.port was 0). Valid
+  // after a successful Start().
+  uint16_t port() const { return port_; }
+
+  // Idempotent, non-blocking, callable from any thread including
+  // connection handlers: stops the accept loop and rejects all further
+  // job submissions. Drain happens in Wait().
+  void RequestShutdown();
+
+  // Blocks until shutdown is requested, then drains: waits for every
+  // queued/running job to finish (their waiters receive the terminal
+  // events), wakes idle connections, joins all threads and releases the
+  // sockets. Returns once the daemon is fully stopped. Call from one
+  // thread (the one that owns the server's lifetime).
+  void Wait();
+
+  size_t pending_jobs() const { return queue_->pending(); }
+
+ private:
+  struct Connection {
+    LineChannel channel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* connection);
+  // True while the connection should keep reading requests.
+  bool HandleRequest(LineChannel* channel, const std::string& line);
+  void ReapFinishedConnectionsLocked();
+
+  ServeOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<JobQueue> queue_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  bool started_ = false;
+  bool finished_ = false;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_requested_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_SERVE_SERVER_H_

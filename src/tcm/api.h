@@ -17,8 +17,12 @@
 // Everything re-exported here is covered by the JobSpec schema version
 // (JobSpec::kVersion): JobSpec and its JSON round-trip, RunReport and
 // its JSON serialization, RunJob/VerifyRelease, and the structured
-// StatusCode taxonomy carried on Status/Result. Engine internals
-// (engine/*.h) remain includable but are not versioned API.
+// StatusCode taxonomy carried on Status/Result. The serving layer —
+// JobServer/JobQueue/ServeClient and the newline-delimited JSON wire
+// protocol they speak (serve/protocol.h, versioned separately by
+// kServeProtocolVersion) — is re-exported too, so an embedder can host
+// or talk to a tcm_serve endpoint with this one include. Engine
+// internals (engine/*.h) remain includable but are not versioned API.
 
 #include "api/job.h"
 #include "api/report.h"
@@ -28,5 +32,9 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/record_source.h"
+#include "serve/client.h"
+#include "serve/job_queue.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 
 #endif  // TCM_TCM_API_H_

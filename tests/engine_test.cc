@@ -4,9 +4,11 @@
 // thread count.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,55 @@ TEST(ThreadPoolTest, SingleThreadExecutesInFifoOrder) {
   std::vector<int> expected(20);
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, WaitAllWithZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitAll();  // nothing submitted: must not block
+  auto future = pool.Submit([]() { return 1; });
+  EXPECT_EQ(future.get(), 1);
+  pool.WaitAll();
+  pool.WaitAll();  // and again after the queue drained
+}
+
+TEST(ThreadPoolTest, ShutdownFinishesQueuedTasksThenRejectsNewOnes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&ran]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++ran;
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 32);  // graceful: queued work still ran
+
+  // After shutdown a submission is rejected: the task never runs and the
+  // future reports a broken promise instead of hanging.
+  std::atomic<bool> leaked{false};
+  auto rejected = pool.Submit([&leaked]() { leaked = true; });
+  try {
+    rejected.get();
+    FAIL() << "future from a rejected task did not throw";
+  } catch (const std::future_error& error) {
+    EXPECT_EQ(error.code(), std::future_errc::broken_promise);
+  }
+  EXPECT_FALSE(leaked.load());
+
+  EXPECT_EQ(pool.num_threads(), 2u);  // stable for reporting
+  pool.WaitAll();   // queue is empty: returns immediately
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesWithoutPoisoningThePool) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.Submit([]() { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);
+  pool.WaitAll();  // the throwing task still counted down in_flight
+  auto after = pool.Submit([]() { return 8; });
+  EXPECT_EQ(after.get(), 8);
 }
 
 TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {

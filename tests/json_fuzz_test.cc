@@ -1,0 +1,246 @@
+// Robustness wall for common/json (and the JobSpec layer riding on it):
+// a seeded mutation + truncation corpus over every JSON document in the
+// tree, plus constructed adversarial inputs. The parser's contract under
+// attack is narrow and absolute — return a Status, never crash, hang,
+// leak (the asan preset runs this suite) or accept a document it cannot
+// re-serialize faithfully. Mutations are deterministic (fixed seeds), so
+// a failure here reproduces exactly.
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/job.h"
+#include "common/json.h"
+
+namespace tcm {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const char* dir : {TCM_GOLDEN_DIR, TCM_SOURCE_ROOT}) {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) continue;
+    for (const auto& entry : it) {
+      if (entry.is_regular_file() && entry.path().extension() == ".json") {
+        files.push_back(entry.path().string());
+      }
+    }
+  }
+  return files;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Applies one random structural mutation to `text`.
+std::string Mutate(const std::string& text, std::mt19937* rng) {
+  std::string out = text;
+  std::uniform_int_distribution<int> op_dist(0, 6);
+  auto position = [&](size_t size) {
+    return std::uniform_int_distribution<size_t>(0, size)(*rng);
+  };
+  switch (op_dist(*rng)) {
+    case 0: {  // truncate
+      if (!out.empty()) out.resize(position(out.size() - 1));
+      break;
+    }
+    case 1: {  // flip one byte to anything
+      if (!out.empty()) {
+        out[position(out.size() - 1)] = static_cast<char>(
+            std::uniform_int_distribution<int>(0, 255)(*rng));
+      }
+      break;
+    }
+    case 2: {  // insert a random byte
+      out.insert(out.begin() + static_cast<ptrdiff_t>(position(out.size())),
+                 static_cast<char>(
+                     std::uniform_int_distribution<int>(0, 255)(*rng)));
+      break;
+    }
+    case 3: {  // erase a span
+      if (!out.empty()) {
+        size_t begin = position(out.size() - 1);
+        size_t length = 1 + position(std::min<size_t>(32, out.size() -
+                                                              begin - 1));
+        out.erase(begin, length);
+      }
+      break;
+    }
+    case 4: {  // duplicate a slice somewhere else
+      if (!out.empty()) {
+        size_t begin = position(out.size() - 1);
+        size_t length = 1 + position(std::min<size_t>(16, out.size() -
+                                                              begin - 1));
+        out.insert(position(out.size()), out.substr(begin, length));
+      }
+      break;
+    }
+    case 5: {  // swap two bytes
+      if (out.size() >= 2) {
+        std::swap(out[position(out.size() - 1)],
+                  out[position(out.size() - 1)]);
+      }
+      break;
+    }
+    default: {  // splice structural characters where they hurt most
+      const char structural[] = {'{', '}', '[', ']', '"', ',', ':', '\\',
+                                 '-', 'e', '.', '\0'};
+      out.insert(out.begin() + static_cast<ptrdiff_t>(position(out.size())),
+                 structural[std::uniform_int_distribution<size_t>(
+                     0, sizeof(structural) - 1)(*rng)]);
+      break;
+    }
+  }
+  return out;
+}
+
+// The property under fuzz: parsing returns; success implies a faithful
+// re-serialization round trip.
+void CheckParser(const std::string& input) {
+  auto parsed = ParseJson(input);
+  if (!parsed.ok()) {
+    EXPECT_FALSE(parsed.status().message().empty());
+    return;
+  }
+  const std::string compact = parsed->Write(-1);
+  auto reparsed = ParseJson(compact);
+  ASSERT_TRUE(reparsed.ok())
+      << "wrote unparseable JSON: " << reparsed.status().ToString()
+      << "\n" << compact;
+  EXPECT_TRUE(*parsed == *reparsed) << "round trip changed the document";
+  // Pretty-printing must agree with compact printing semantically.
+  auto pretty = ParseJson(parsed->Write(2));
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_TRUE(*parsed == *pretty);
+}
+
+TEST(JsonFuzzTest, CorpusSeedsParseAndRoundTrip) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty()) << "no .json seeds found in-tree";
+  for (const std::string& file : files) {
+    const std::string text = ReadFileOrDie(file);
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << file << ": " << parsed.status().ToString();
+    CheckParser(text);
+  }
+}
+
+TEST(JsonFuzzTest, MutatedCorpusNeverCrashesTheParser) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  uint32_t file_index = 0;
+  for (const std::string& file : files) {
+    const std::string seed_text = ReadFileOrDie(file);
+    std::mt19937 rng(0xC0FFEE01u + file_index++);
+    for (int i = 0; i < 400; ++i) {
+      // Stack one to three mutations so errors compound.
+      std::string mutated = Mutate(seed_text, &rng);
+      const int extra = std::uniform_int_distribution<int>(0, 2)(rng);
+      for (int j = 0; j < extra; ++j) mutated = Mutate(mutated, &rng);
+      CheckParser(mutated);
+    }
+  }
+}
+
+// The job-spec layer on top must be exactly as crash-free: a mutated
+// spec either parses into a valid JobSpec or returns a structured error.
+TEST(JsonFuzzTest, MutatedJobSpecsNeverCrashTheSpecParser) {
+  const std::string path =
+      std::string(TCM_GOLDEN_DIR) + "/job_tclose_first.json";
+  const std::string seed_text = ReadFileOrDie(path);
+  ASSERT_TRUE(JobSpec::FromJsonText(seed_text).ok());
+  std::mt19937 rng(0xBADC0DEu);
+  for (int i = 0; i < 600; ++i) {
+    std::string mutated = Mutate(seed_text, &rng);
+    auto spec = JobSpec::FromJsonText(mutated);
+    if (spec.ok()) {
+      // Whatever survived mutation must still round-trip as a document.
+      auto round = JobSpec::FromJsonText(spec->ToJsonText());
+      EXPECT_TRUE(round.ok()) << round.status().ToString();
+    } else {
+      EXPECT_FALSE(spec.status().message().empty());
+    }
+  }
+}
+
+TEST(JsonFuzzTest, TruncationLadderIsTotal) {
+  // Every prefix of every seed must parse or fail cleanly — the exact
+  // failure mode of a connection dropped mid-line.
+  for (const std::string& file : CorpusFiles()) {
+    const std::string text = ReadFileOrDie(file);
+    const size_t step = text.size() < 512 ? 1 : text.size() / 512;
+    for (size_t cut = 0; cut < text.size(); cut += step) {
+      CheckParser(text.substr(0, cut));
+    }
+  }
+}
+
+TEST(JsonFuzzTest, AdversarialConstructions) {
+  // Deep nesting far beyond the cap: must error, not overflow the stack.
+  CheckParser(std::string(100000, '['));
+  CheckParser(std::string(100000, '{'));
+  std::string nested;
+  for (int i = 0; i < 5000; ++i) nested += "[{\"a\":";
+  CheckParser(nested);
+
+  // Exactly at and just past the depth cap.
+  std::string at_cap(kMaxJsonDepth, '[');
+  at_cap += std::string(kMaxJsonDepth, ']');
+  auto parsed = ParseJson(at_cap);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string past_cap(kMaxJsonDepth + 1, '[');
+  past_cap += std::string(kMaxJsonDepth + 1, ']');
+  EXPECT_FALSE(ParseJson(past_cap).ok());
+
+  // Number edge cases.
+  for (const char* text :
+       {"1e999", "-1e999", "1e-999", "-0", "0.0000000000000000000000001",
+        "9007199254740993", "-9007199254740993", "1E+308", "00", "01",
+        "- 1", "+1", ".5", "5.", "1e", "1e+", "0x10", "Infinity", "NaN"}) {
+    CheckParser(text);
+  }
+
+  // String edge cases: escapes, surrogates, raw bytes, embedded NUL.
+  for (const char* text :
+       {"\"\\ud800\"", "\"\\udc00\"", "\"\\ud800\\ud800\"",
+        "\"\\ud83d\\ude00\"", "\"\\uFFFF\"", "\"\\u0000\"", "\"\\q\"",
+        "\"\\u12\"", "\"unterminated", "\"\\\"", "\"tab\tinside\""}) {
+    CheckParser(text);
+  }
+  std::string nul_inside = "\"a";
+  nul_inside.push_back('\0');
+  nul_inside += "b\"";
+  CheckParser(nul_inside);
+
+  // A megabyte of garbage and a megabyte of digits.
+  std::mt19937 rng(0xFEEDFACEu);
+  std::string garbage(1 << 20, '\0');
+  for (char& c : garbage) {
+    c = static_cast<char>(std::uniform_int_distribution<int>(0, 255)(rng));
+  }
+  CheckParser(garbage);
+  CheckParser(std::string(1 << 20, '9'));
+
+  // Huge flat containers stay linear (and parse fine).
+  std::string flat = "[";
+  for (int i = 0; i < 50000; ++i) {
+    flat += "0,";
+  }
+  flat += "0]";
+  CheckParser(flat);
+}
+
+}  // namespace
+}  // namespace tcm

@@ -1,0 +1,113 @@
+# ctest script pinning the CLI exit-code contract of tools/exit_codes.h
+# end to end: each public taxonomy entry must surface as its distinct
+# documented code from a real tcm_anonymize invocation —
+#   0 success, 2 usage, 3 InvalidSpec, 4 UnknownAlgorithm, 5 IoError,
+#   6 PrivacyViolation.
+#
+# Invoked as:
+#   cmake -DTCM_ANONYMIZE=<binary> -DWORK_DIR=<dir> -P exit_codes.cmake
+
+if(NOT TCM_ANONYMIZE OR NOT WORK_DIR)
+  message(FATAL_ERROR "TCM_ANONYMIZE and WORK_DIR must be defined")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Runs the tool and asserts the exit code; extra arguments are the
+# command line after the binary.
+function(expect_exit expected label)
+  execute_process(
+    COMMAND "${TCM_ANONYMIZE}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL expected)
+    message(FATAL_ERROR
+      "${label}: expected exit ${expected}, got ${rc}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "${label}: exit ${rc} as documented")
+endfunction()
+
+# --- fixtures -------------------------------------------------------------
+
+file(WRITE "${WORK_DIR}/ok_job.json" [[{
+  "version": 1,
+  "input": {"kind": "synthetic", "generator": "uniform",
+            "rows": 120, "quasi_identifiers": 2, "seed": 1},
+  "algorithm": {"name": "tclose_first", "k": 4, "t": 0.3}
+}]])
+
+file(WRITE "${WORK_DIR}/invalid_spec_job.json" [[{
+  "version": 1,
+  "input": {"kind": "synthetic"},
+  "algorithm": {"k": 0}
+}]])
+
+file(WRITE "${WORK_DIR}/unknown_algorithm_job.json" [[{
+  "version": 1,
+  "input": {"kind": "synthetic"},
+  "algorithm": {"name": "definitely_not_registered"}
+}]])
+
+file(WRITE "${WORK_DIR}/io_error_job.json" [[{
+  "version": 1,
+  "input": {"kind": "csv", "path": "does_not_exist.csv"},
+  "roles": {"quasi_identifiers": ["a"], "confidential": "b"}
+}]])
+
+# Ten identical QI rows then ten distinct ones: trivially NOT
+# 5-anonymous once the distinct half is considered, so an audit at k=5
+# must report a privacy violation.
+file(WRITE "${WORK_DIR}/leaky_release.csv"
+  "age,zip,salary\n")
+foreach(i RANGE 1 10)
+  file(APPEND "${WORK_DIR}/leaky_release.csv" "30,1000,${i}\n")
+endforeach()
+foreach(i RANGE 1 10)
+  math(EXPR age "30 + ${i}")
+  file(APPEND "${WORK_DIR}/leaky_release.csv" "${age},${i},5\n")
+endforeach()
+
+# --- the contract ---------------------------------------------------------
+
+expect_exit(0 "success"
+  --job "${WORK_DIR}/ok_job.json" --output "${WORK_DIR}/ok_release.csv")
+
+expect_exit(2 "usage error (unknown flag)" --definitely-not-a-flag)
+
+expect_exit(2 "usage error (audit without roles)"
+  --audit "${WORK_DIR}/leaky_release.csv")
+
+expect_exit(2 "usage error (audit refuses anonymization flags)"
+  --audit "${WORK_DIR}/leaky_release.csv"
+  --qi age,zip --confidential salary --k 5 --t 0.5
+  --output "${WORK_DIR}/never.csv")
+
+expect_exit(3 "InvalidSpec" --job "${WORK_DIR}/invalid_spec_job.json"
+  --output "${WORK_DIR}/never.csv")
+
+expect_exit(4 "UnknownAlgorithm"
+  --job "${WORK_DIR}/unknown_algorithm_job.json"
+  --output "${WORK_DIR}/never.csv")
+
+# The same code whether the bad name comes from the file or a flag.
+expect_exit(4 "UnknownAlgorithm (flag override)"
+  --job "${WORK_DIR}/ok_job.json" --algorithm bogus
+  --output "${WORK_DIR}/never.csv")
+
+expect_exit(5 "IoError (missing input csv)"
+  --job "${WORK_DIR}/io_error_job.json" --output "${WORK_DIR}/never.csv")
+
+expect_exit(5 "IoError (missing job file)"
+  --job "${WORK_DIR}/no_such_job.json" --output "${WORK_DIR}/never.csv")
+
+expect_exit(6 "PrivacyViolation (audit of a leaky release)"
+  --audit "${WORK_DIR}/leaky_release.csv"
+  --qi age,zip --confidential salary --k 5 --t 0.5)
+
+expect_exit(0 "audit passes on a compliant threshold"
+  --audit "${WORK_DIR}/leaky_release.csv"
+  --qi age,zip --confidential salary --k 1 --t 10)
+
+message(STATUS "exit-code contract OK: all documented codes observed")

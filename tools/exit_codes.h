@@ -1,0 +1,70 @@
+#ifndef TCM_TOOLS_EXIT_CODES_H_
+#define TCM_TOOLS_EXIT_CODES_H_
+
+// The documented CLI exit-code contract shared by tcm_anonymize,
+// tcm_serve and tcm_submit (README "Exit codes"), pinned end to end by
+// tools/exit_codes.cmake and tools/serve_smoke.sh. Scripts branch on
+// these numbers the way in-process callers branch on StatusCode: the
+// four public taxonomy entries get distinct codes, everything else
+// collapses to the generic failure.
+//
+//   0  success
+//   1  uncategorized failure
+//   2  usage error (bad flags / missing required arguments)
+//   3  InvalidSpec        - a job spec failed validation
+//   4  UnknownAlgorithm   - algorithm name not in the registry
+//   5  IoError            - unreadable input / unwritable sink / no daemon
+//   6  PrivacyViolation   - a release failed independent re-verification
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tcm {
+namespace tools {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitInvalidSpec = 3;
+inline constexpr int kExitUnknownAlgorithm = 4;
+inline constexpr int kExitIoError = 5;
+inline constexpr int kExitPrivacyViolation = 6;
+
+inline int ExitCodeForStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidSpec:
+      return kExitInvalidSpec;
+    case StatusCode::kUnknownAlgorithm:
+      return kExitUnknownAlgorithm;
+    case StatusCode::kIoError:
+      return kExitIoError;
+    case StatusCode::kPrivacyViolation:
+      return kExitPrivacyViolation;
+    default:
+      return kExitFailure;
+  }
+}
+
+inline int ExitCodeForStatus(const Status& status) {
+  return ExitCodeForStatusCode(status.code());
+}
+
+// Maps a StatusCodeName string (how taxonomy codes travel over the
+// tcm_serve wire) onto the same contract, so tcm_submit exits with the
+// code the daemon reported.
+inline int ExitCodeForCodeName(std::string_view name) {
+  if (name == "OK") return kExitOk;
+  if (name == "InvalidSpec") return kExitInvalidSpec;
+  if (name == "UnknownAlgorithm") return kExitUnknownAlgorithm;
+  if (name == "IoError") return kExitIoError;
+  if (name == "PrivacyViolation") return kExitPrivacyViolation;
+  return kExitFailure;
+}
+
+}  // namespace tools
+}  // namespace tcm
+
+#endif  // TCM_TOOLS_EXIT_CODES_H_

@@ -20,15 +20,28 @@
 // for any thread count. Exit code 0 only when the release was produced
 // AND re-verified (sweep specs are the exception: they measure cells
 // without producing or verifying a release); failures print a
-// structured "Code: message" line (e.g. UnknownAlgorithm, InvalidSpec,
-// PrivacyViolation) to stderr.
+// structured "Code: message" line to stderr and exit with the contract
+// of tools/exit_codes.h (3 InvalidSpec, 4 UnknownAlgorithm, 5 IoError,
+// 6 PrivacyViolation), pinned end to end by tools/exit_codes.cmake.
+//
+// Audit mode re-checks an existing release the way an external auditor
+// would, without running any anonymizer:
+//
+//   tcm_anonymize --audit release.csv --qi age,zipcode
+//       --confidential salary --k 5 --t 0.1
+//
+// Exit 0 when the file is k-anonymous and t-close under those roles,
+// 6 (PrivacyViolation) naming the violated guarantee otherwise.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "arg_parser.h"
+#include "data/csv.h"
+#include "engine/pipeline.h"
 #include "engine/registry.h"
+#include "exit_codes.h"
 #include "tcm/api.h"
 
 namespace {
@@ -40,7 +53,35 @@ constexpr char kUsage[] =
     "                     [--threads N] [--shard-size N] [--seed N]\n"
     "                     [--stream] [--max-resident-rows N]\n"
     "                     [--report] [--report-json FILE]\n"
-    "                     [--list-algorithms]\n";
+    "                     [--list-algorithms]\n"
+    "       tcm_anonymize --audit FILE --qi A,B,... --confidential C\n"
+    "                     --k N --t X\n";
+
+// Re-verifies an existing release CSV against k/t: the VerifyRelease
+// facade on the command line. The only CLI path that can legitimately
+// end in exit code 6 — the anonymizers themselves repair violations
+// before writing.
+int RunAudit(const std::string& path, const std::vector<std::string>& qi,
+             const std::string& confidential, size_t k, double t) {
+  auto data = tcm::ReadNumericCsv(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(data.status());
+  }
+  tcm::Status roles = tcm::AssignRoles(&data.value(), qi, confidential);
+  if (!roles.ok()) {
+    std::fprintf(stderr, "%s\n", roles.ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(roles);
+  }
+  tcm::Status verdict = tcm::VerifyRelease(*data, k, t);
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "%s\n", verdict.ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(verdict);
+  }
+  std::printf("audit OK: %s is %zu-anonymous and %.4f-close (%zu records)\n",
+              path.c_str(), k, t, data->NumRecords());
+  return tcm::tools::kExitOk;
+}
 
 void PrintAlgorithms() {
   const tcm::AlgorithmRegistry& registry =
@@ -121,6 +162,7 @@ void PrintSweep(const tcm::RunReport& report) {
 
 int main(int argc, char** argv) {
   std::string job_path, input, output, confidential, algorithm, report_json;
+  std::string audit_path;
   std::vector<std::string> qi;
   size_t k = 0, threads = 0, shard_size = 0, max_resident_rows = 0;
   uint64_t seed = 0;
@@ -129,6 +171,7 @@ int main(int argc, char** argv) {
 
   tcm::tools::ArgParser parser(kUsage);
   parser.AddString("--job", &job_path);
+  parser.AddString("--audit", &audit_path);
   parser.AddString("--input", &input);
   parser.AddString("--output", &output);
   parser.AddStringList("--qi", &qi);
@@ -144,11 +187,36 @@ int main(int argc, char** argv) {
   parser.AddFlag("--report", &report_flag);
   parser.AddString("--report-json", &report_json);
   parser.AddFlag("--list-algorithms", &list_algorithms);
-  if (!parser.Parse(argc, argv)) return 2;
+  if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
 
   if (list_algorithms) {
     PrintAlgorithms();
-    return 0;
+    return tcm::tools::kExitOk;
+  }
+
+  if (!audit_path.empty()) {
+    // Audit mode stands alone: the roles and thresholds must be explicit
+    // so the verdict is unambiguous, and anonymization flags are refused
+    // rather than silently ignored (the ArgParser's no-silent-skip
+    // philosophy applies across modes too).
+    for (const char* flag :
+         {"--job", "--input", "--output", "--algorithm", "--threads",
+          "--shard-size", "--seed", "--stream", "--max-resident-rows",
+          "--report", "--report-json"}) {
+      if (parser.Seen(flag)) {
+        std::fprintf(stderr, "%s does not apply to --audit mode\n%s", flag,
+                     kUsage);
+        return tcm::tools::kExitUsage;
+      }
+    }
+    if (qi.empty() || confidential.empty() || !parser.Seen("--k") ||
+        !parser.Seen("--t")) {
+      std::fprintf(stderr,
+                   "--audit requires --qi, --confidential, --k and --t\n%s",
+                   kUsage);
+      return tcm::tools::kExitUsage;
+    }
+    return RunAudit(audit_path, qi, confidential, k, t);
   }
 
   // The spec: a --job file when given, defaults otherwise; explicit flags
@@ -158,7 +226,7 @@ int main(int argc, char** argv) {
     auto loaded = tcm::JobSpec::FromJsonFile(job_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
+      return tcm::tools::ExitCodeForStatus(loaded.status());
     }
     spec = std::move(loaded).value();
   }
@@ -191,13 +259,13 @@ int main(int argc, char** argv) {
        spec.roles.quasi_identifiers.empty() ||
        spec.roles.confidential.empty())) {
     std::fprintf(stderr, "%s", kUsage);
-    return 2;
+    return tcm::tools::kExitUsage;
   }
 
   auto report = tcm::RunJob(spec);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    return 1;
+    return tcm::tools::ExitCodeForStatus(report.status());
   }
   if (report_flag) {
     if (report->swept) {
@@ -206,5 +274,5 @@ int main(int argc, char** argv) {
       PrintReport(spec, *report);
     }
   }
-  return 0;
+  return tcm::tools::kExitOk;
 }

@@ -1,0 +1,125 @@
+// tcm_serve: the long-running job daemon — the versioned Job API
+// (tcm/api.h) served over a localhost TCP socket as newline-delimited
+// JSON (protocol in serve/protocol.h, README "Serving jobs").
+//
+//   tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]
+//             [--threads N] [--max-pending N] [--no-remote-shutdown]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// logged to stderr and, with --port-file, written as a single line to
+// FILE once the daemon is accepting — scripts poll that file instead of
+// racing the bind. Jobs execute on a shared thread pool (--threads)
+// behind a bounded queue (--max-pending, backpressure for clients).
+//
+// Shutdown is always a graceful drain: SIGTERM, SIGINT or a client's
+// "shutdown" verb (disable with --no-remote-shutdown) stop new
+// connections and submissions, every queued or running job finishes and
+// delivers its final event, then the process exits 0. Exit codes follow
+// tools/exit_codes.h (5 when the address cannot be bound).
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "arg_parser.h"
+#include "exit_codes.h"
+#include "tcm/api.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]\n"
+    "                 [--threads N] [--max-pending N]\n"
+    "                 [--no-remote-shutdown]\n";
+
+// Self-pipe: the handler only writes a byte (async-signal-safe); a
+// watcher thread turns it into the orderly RequestShutdown call.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  char byte = 1;
+  // The pipe is never full (one byte per signal, drained immediately);
+  // a failed write just means shutdown was already requested.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  size_t port = 0, threads = 0, max_pending = 64;
+  bool no_remote_shutdown = false;
+
+  tcm::tools::ArgParser parser(kUsage);
+  parser.AddString("--host", &host);
+  parser.AddSize("--port", &port);
+  parser.AddString("--port-file", &port_file);
+  parser.AddSize("--threads", &threads);
+  parser.AddSize("--max-pending", &max_pending);
+  parser.AddFlag("--no-remote-shutdown", &no_remote_shutdown);
+  if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
+  if (port > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n%s", kUsage);
+    return tcm::tools::kExitUsage;
+  }
+
+  tcm::ServeOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.threads = threads;
+  options.max_pending = max_pending;
+  options.allow_remote_shutdown = !no_remote_shutdown;
+
+  tcm::JobServer server(options);
+  tcm::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(started);
+  }
+  std::fprintf(stderr, "tcm_serve listening on %s:%u (pid %ld)\n",
+               host.c_str(), server.port(), static_cast<long>(::getpid()));
+
+  if (!port_file.empty()) {
+    std::FILE* out = std::fopen(port_file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write port file %s\n",
+                   port_file.c_str());
+      return tcm::tools::kExitIoError;
+    }
+    std::fprintf(out, "%u\n", server.port());
+    std::fclose(out);
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed\n");
+    return tcm::tools::kExitFailure;
+  }
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::thread watcher([&server]() {
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.RequestShutdown();
+  });
+
+  server.Wait();  // returns after the graceful drain completes
+
+  // Unblock the watcher in case shutdown came from the wire, not a
+  // signal; RequestShutdown is idempotent so the extra call is harmless.
+  HandleSignal(0);
+  watcher.join();
+
+  std::fprintf(stderr, "tcm_serve drained, exiting\n");
+  return tcm::tools::kExitOk;
+}

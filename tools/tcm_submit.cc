@@ -1,0 +1,232 @@
+// tcm_submit: command-line client for a running tcm_serve daemon.
+//
+//   tcm_submit --port N [--host A.B.C.D] --job FILE [--no-wait]
+//       [--output FILE] [--report-json FILE] [--save-report FILE]
+//   tcm_submit --port N --status ID
+//   tcm_submit --port N --cancel ID
+//   tcm_submit --port N --shutdown
+//   tcm_submit --port N --ping
+//
+// --job submits the JobSpec JSON as-is: the file is checked to be JSON
+// but NOT validated client side, so spec errors come back over the wire
+// with the daemon's taxonomy code — which becomes this tool's exit code
+// per tools/exit_codes.h (3 InvalidSpec, 4 UnknownAlgorithm, 5 IoError,
+// 6 PrivacyViolation; 5 also when no daemon is listening). --output and
+// --report-json override the spec's sinks; the daemon writes them, so
+// the paths resolve on the SERVER side — use absolute paths unless the
+// daemon shares your working directory. Every event received is echoed
+// to stdout as one JSON line; --save-report additionally extracts the
+// final RunReport into FILE (pretty-printed, like --report-json writes
+// it). --no-wait returns right after the job is accepted: poll with
+// --status, stop with --cancel, and drain the daemon with --shutdown.
+
+#include <cstdio>
+#include <string>
+
+#include "arg_parser.h"
+#include "exit_codes.h"
+#include "tcm/api.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: tcm_submit --port N [--host A.B.C.D]\n"
+    "                  (--job FILE [--no-wait] [--output FILE]\n"
+    "                   [--report-json FILE] [--save-report FILE]\n"
+    "                   | --status ID | --cancel ID | --shutdown |"
+    " --ping)\n";
+
+void PrintEvent(const tcm::JsonValue& event) {
+  std::printf("%s\n", event.Write(-1).c_str());
+}
+
+// The event's "code" mapped through the exit-code contract (generic
+// failure when absent).
+int ExitCodeForEvent(const tcm::JsonValue& event) {
+  const tcm::JsonValue* code = event.Find("code");
+  if (code == nullptr || !code->is_string()) {
+    return tcm::tools::kExitFailure;
+  }
+  return tcm::tools::ExitCodeForCodeName(code->string_value());
+}
+
+// Sets spec.output.<key> = path on the raw spec document, creating the
+// "output" object when the spec had none.
+void OverrideOutput(tcm::JsonValue* spec, const std::string& key,
+                    const std::string& path) {
+  const tcm::JsonValue* existing = spec->Find("output");
+  tcm::JsonValue output = (existing != nullptr && existing->is_object())
+                              ? *existing
+                              : tcm::JsonValue::MakeObject();
+  output.Set(key, path);
+  spec->Set("output", std::move(output));
+}
+
+int RunSubmit(tcm::ServeClient* client, const std::string& job_path,
+              bool no_wait, const std::string& output,
+              const std::string& report_json,
+              const std::string& save_report) {
+  auto spec = tcm::ReadJsonFile(job_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(spec.status());
+  }
+  if (!output.empty()) {
+    OverrideOutput(&spec.value(), "release_path", output);
+  }
+  if (!report_json.empty()) {
+    OverrideOutput(&spec.value(), "report_path", report_json);
+  }
+
+  tcm::JsonValue request = tcm::JsonValue::MakeObject();
+  request.Set("verb", "submit");
+  request.Set("spec", std::move(spec).value());
+  if (no_wait) request.Set("wait", false);
+  tcm::Status sent = client->Send(request);
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(sent);
+  }
+
+  if (no_wait) {
+    // One reply — accepted or refused — and we are done.
+    auto event = client->ReadEvent();
+    if (!event.ok()) {
+      std::fprintf(stderr, "%s\n", event.status().ToString().c_str());
+      return tcm::tools::ExitCodeForStatus(event.status());
+    }
+    PrintEvent(*event);
+    const tcm::JsonValue* name = event->Find("event");
+    if (name != nullptr && name->is_string() &&
+        name->string_value() == "error") {
+      return ExitCodeForEvent(*event);
+    }
+    return tcm::tools::kExitOk;
+  }
+
+  // Echo every event as it streams in; the terminal one decides the exit
+  // code.
+  while (true) {
+    auto event = client->ReadEvent();
+    if (!event.ok()) {
+      std::fprintf(stderr, "%s\n", event.status().ToString().c_str());
+      return tcm::tools::ExitCodeForStatus(event.status());
+    }
+    PrintEvent(*event);
+    const tcm::JsonValue* name = event->Find("event");
+    if (name == nullptr || !name->is_string()) {
+      std::fprintf(stderr, "daemon sent an event without a name\n");
+      return tcm::tools::kExitFailure;
+    }
+    if (name->string_value() == "error") return ExitCodeForEvent(*event);
+    if (name->string_value() != "state") continue;  // accepted, ...
+    const tcm::JsonValue* state = event->Find("state");
+    const std::string state_name =
+        (state != nullptr && state->is_string()) ? state->string_value()
+                                                 : "";
+    if (state_name == "succeeded") {
+      if (!save_report.empty()) {
+        const tcm::JsonValue* report = event->Find("report");
+        if (report == nullptr) {
+          std::fprintf(stderr, "terminal event carried no report\n");
+          return tcm::tools::kExitFailure;
+        }
+        tcm::Status written = tcm::WriteJsonFile(*report, save_report);
+        if (!written.ok()) {
+          std::fprintf(stderr, "%s\n", written.ToString().c_str());
+          return tcm::tools::ExitCodeForStatus(written);
+        }
+      }
+      return tcm::tools::kExitOk;
+    }
+    if (state_name == "failed") return ExitCodeForEvent(*event);
+    if (state_name == "cancelled") return tcm::tools::kExitFailure;
+    // queued / running: keep streaming.
+  }
+}
+
+// status / cancel / shutdown / ping: one request, one event back.
+int RunSimpleVerb(tcm::ServeClient* client, tcm::ServeRequest request) {
+  tcm::Status sent = client->Send(request);
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(sent);
+  }
+  auto event = client->ReadEvent();
+  if (!event.ok()) {
+    std::fprintf(stderr, "%s\n", event.status().ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(event.status());
+  }
+  PrintEvent(*event);
+  const tcm::JsonValue* name = event->Find("event");
+  if (name != nullptr && name->is_string() &&
+      name->string_value() == "error") {
+    return ExitCodeForEvent(*event);
+  }
+  return tcm::tools::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string job_path, output, report_json, save_report;
+  size_t port = 0, status_id = 0, cancel_id = 0;
+  bool no_wait = false, do_shutdown = false, do_ping = false;
+
+  tcm::tools::ArgParser parser(kUsage);
+  parser.AddString("--host", &host);
+  parser.AddSize("--port", &port);
+  parser.AddString("--job", &job_path);
+  parser.AddFlag("--no-wait", &no_wait);
+  parser.AddString("--output", &output);
+  parser.AddString("--report-json", &report_json);
+  parser.AddString("--save-report", &save_report);
+  parser.AddSize("--status", &status_id);
+  parser.AddSize("--cancel", &cancel_id);
+  parser.AddFlag("--shutdown", &do_shutdown);
+  parser.AddFlag("--ping", &do_ping);
+  if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
+
+  const int verbs = (job_path.empty() ? 0 : 1) +
+                    (parser.Seen("--status") ? 1 : 0) +
+                    (parser.Seen("--cancel") ? 1 : 0) +
+                    (do_shutdown ? 1 : 0) + (do_ping ? 1 : 0);
+  if (verbs != 1 || !parser.Seen("--port") || port == 0 || port > 65535) {
+    std::fprintf(stderr, "%s", kUsage);
+    return tcm::tools::kExitUsage;
+  }
+  if (no_wait && !save_report.empty()) {
+    // The report only exists in the terminal event, which --no-wait
+    // never reads; refuse rather than silently not writing the file.
+    std::fprintf(stderr, "--save-report requires waiting (drop --no-wait "
+                         "or poll with --status)\n%s", kUsage);
+    return tcm::tools::kExitUsage;
+  }
+
+  auto client = tcm::ServeClient::Connect(host,
+                                          static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(client.status());
+  }
+
+  if (!job_path.empty()) {
+    return RunSubmit(&client.value(), job_path, no_wait, output,
+                     report_json, save_report);
+  }
+
+  tcm::ServeRequest request;
+  if (parser.Seen("--status")) {
+    request.verb = tcm::ServeVerb::kStatus;
+    request.job = status_id;
+  } else if (parser.Seen("--cancel")) {
+    request.verb = tcm::ServeVerb::kCancel;
+    request.job = cancel_id;
+  } else if (do_shutdown) {
+    request.verb = tcm::ServeVerb::kShutdown;
+  } else {
+    request.verb = tcm::ServeVerb::kPing;
+  }
+  return RunSimpleVerb(&client.value(), request);
+}
