@@ -29,6 +29,11 @@ function(tcm_apply_compile_options target)
       target_compile_options(${target} PRIVATE
         -Wno-restrict -Wno-maybe-uninitialized)
     endif()
+    if(TCM_THREAD_SAFETY AND CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      # The annotations in common/thread_annotations.h only bite under
+      # clang; the `clang-analysis` preset turns them into build errors.
+      target_compile_options(${target} PRIVATE -Wthread-safety)
+    endif()
     if(TCM_WERROR)
       target_compile_options(${target} PRIVATE -Werror)
     endif()

@@ -52,13 +52,25 @@ class CheckFailureStream {
 #define TCM_CHECK_GT(a, b) TCM_CHECK((a) > (b))
 #define TCM_CHECK_GE(a, b) TCM_CHECK((a) >= (b))
 
+// Debug-only variant: per-element invariants on hot paths (merge loops,
+// EMD ranking) that would otherwise pay an abort-branch per record in
+// release builds. In NDEBUG builds the condition is still parsed and its
+// operands odr-used (so variables referenced only by a TCM_DCHECK never
+// trip -Wunused), but the short-circuit guarantees it is never evaluated.
 #ifndef NDEBUG
 #define TCM_DCHECK(cond) TCM_CHECK(cond)
 #else
-#define TCM_DCHECK(cond) \
-  if (true) {            \
-  } else /* NOLINT */    \
+#define TCM_DCHECK(cond)  \
+  if (true || (cond)) {   \
+  } else /* NOLINT */     \
     ::tcm::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
 #endif
+
+#define TCM_DCHECK_EQ(a, b) TCM_DCHECK((a) == (b))
+#define TCM_DCHECK_NE(a, b) TCM_DCHECK((a) != (b))
+#define TCM_DCHECK_LT(a, b) TCM_DCHECK((a) < (b))
+#define TCM_DCHECK_LE(a, b) TCM_DCHECK((a) <= (b))
+#define TCM_DCHECK_GT(a, b) TCM_DCHECK((a) > (b))
+#define TCM_DCHECK_GE(a, b) TCM_DCHECK((a) >= (b))
 
 #endif  // TCM_COMMON_CHECK_H_

@@ -58,8 +58,8 @@ double EmdFromSortedRanksImpl(const std::vector<uint32_t>& sorted_ranks,
 }  // namespace
 
 double OrderedEmd(const std::vector<double>& p, const std::vector<double>& q) {
-  TCM_CHECK_EQ(p.size(), q.size());
-  TCM_CHECK(!p.empty());
+  TCM_DCHECK_EQ(p.size(), q.size());
+  TCM_DCHECK(!p.empty());
   const size_t m = p.size();
   if (m == 1) return 0.0;
   double cumulative = 0.0;
@@ -88,7 +88,7 @@ EmdCalculator::EmdCalculator(const std::vector<double>& confidential_values) {
 }
 
 double EmdCalculator::ClusterEmd(const std::vector<size_t>& rows) const {
-  TCM_CHECK(!rows.empty());
+  TCM_DCHECK(!rows.empty());
   std::vector<uint32_t> sorted;
   sorted.reserve(rows.size());
   for (size_t row : rows) {
@@ -101,7 +101,7 @@ double EmdCalculator::ClusterEmd(const std::vector<size_t>& rows) const {
 
 double EmdCalculator::EmdFromSortedRanks(
     const std::vector<uint32_t>& sorted_ranks) const {
-  TCM_CHECK(!sorted_ranks.empty());
+  TCM_DCHECK(!sorted_ranks.empty());
   TCM_DCHECK(sorted_ranks.back() < static_cast<uint32_t>(n_));
   return EmdFromSortedRanksImpl(sorted_ranks, n_);
 }

@@ -8,17 +8,17 @@
 namespace tcm {
 
 double MinClusterEmd(size_t n, size_t k) {
-  TCM_CHECK_GE(k, 1u);
-  TCM_CHECK_LE(k, n);
-  TCM_CHECK_GT(n, 1u);
+  TCM_DCHECK_GE(k, 1u);
+  TCM_DCHECK_LE(k, n);
+  TCM_DCHECK_GT(n, 1u);
   double nd = static_cast<double>(n), kd = static_cast<double>(k);
   return (nd + kd) * (nd - kd) / (4.0 * nd * (nd - 1.0) * kd);
 }
 
 double MaxClusterEmdOnePerSubset(size_t n, size_t k) {
-  TCM_CHECK_GE(k, 1u);
-  TCM_CHECK_LE(k, n);
-  TCM_CHECK_GT(n, 1u);
+  TCM_DCHECK_GE(k, 1u);
+  TCM_DCHECK_LE(k, n);
+  TCM_DCHECK_GT(n, 1u);
   double nd = static_cast<double>(n), kd = static_cast<double>(k);
   return (nd - kd) / (2.0 * (nd - 1.0) * kd);
 }

@@ -70,7 +70,7 @@ double QiSpace::Distance(size_t row_a, size_t row_b) const {
 }
 
 std::vector<double> QiSpace::Centroid(const std::vector<size_t>& rows) const {
-  TCM_CHECK(!rows.empty());
+  TCM_DCHECK(!rows.empty());
   std::vector<double> centroid(num_dims_, 0.0);
   for (size_t row : rows) {
     const double* p = point(row);
@@ -88,7 +88,7 @@ std::vector<double> QiSpace::GlobalCentroid() const {
 
 size_t QiSpace::FarthestFromPoint(const std::vector<size_t>& candidates,
                                   const std::vector<double>& p) const {
-  TCM_CHECK(!candidates.empty());
+  TCM_DCHECK(!candidates.empty());
   size_t best = candidates[0];
   double best_dist = -1.0;
   for (size_t row : candidates) {
@@ -113,7 +113,7 @@ size_t QiSpace::ClosestToRecord(const std::vector<size_t>& candidates,
       best = candidate;
     }
   }
-  TCM_CHECK(best != std::numeric_limits<size_t>::max())
+  TCM_DCHECK(best != std::numeric_limits<size_t>::max())
       << "no candidate other than the record itself";
   return best;
 }

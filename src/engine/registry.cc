@@ -28,7 +28,7 @@ Status AlgorithmRegistry::Register(const std::string& name,
   if (!fn) {
     return Status::InvalidArgument("algorithm '" + name + "' has no factory");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] =
       entries_.emplace(name, Entry{description, std::move(fn)});
   (void)it;
@@ -39,27 +39,33 @@ Status AlgorithmRegistry::Register(const std::string& name,
   return Status::Ok();
 }
 
-Result<PartitionFn> AlgorithmRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+const AlgorithmRegistry::Entry* AlgorithmRegistry::FindEntryLocked(
+    const std::string& name) const {
   auto it = entries_.find(name);
-  if (it == entries_.end()) {
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Result<PartitionFn> AlgorithmRegistry::Find(const std::string& name) const {
+  MutexLock lock(mutex_);
+  const Entry* entry = FindEntryLocked(name);
+  if (entry == nullptr) {
     std::vector<std::string> names;
     names.reserve(entries_.size());
-    for (const auto& [known, entry] : entries_) names.push_back(known);
+    for (const auto& [known, unused] : entries_) names.push_back(known);
     return Status::NotFound("unknown algorithm '" + name +
                             "'; known algorithms: " +
                             JoinStrings(names, ", "));
   }
-  return it->second.fn;
+  return entry->fn;
 }
 
 bool AlgorithmRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.count(name) > 0;
+  MutexLock lock(mutex_);
+  return FindEntryLocked(name) != nullptr;
 }
 
 std::vector<std::string> AlgorithmRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -67,9 +73,9 @@ std::vector<std::string> AlgorithmRegistry::Names() const {
 }
 
 std::string AlgorithmRegistry::Description(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  return it == entries_.end() ? std::string() : it->second.description;
+  MutexLock lock(mutex_);
+  const Entry* entry = FindEntryLocked(name);
+  return entry == nullptr ? std::string() : entry->description;
 }
 
 AlgorithmRegistry& AlgorithmRegistry::BuiltIns() {

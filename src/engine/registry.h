@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 #include "distance/emd.h"
 #include "distance/qi_space.h"
@@ -46,18 +47,20 @@ class AlgorithmRegistry {
   // InvalidArgument on an empty name, FailedPrecondition when the name is
   // already taken.
   Status Register(const std::string& name, const std::string& description,
-                  PartitionFn fn);
+                  PartitionFn fn) TCM_EXCLUDES(mutex_);
 
   // NotFound lists the registered names so CLI users see their options.
-  Result<PartitionFn> Find(const std::string& name) const;
+  Result<PartitionFn> Find(const std::string& name) const
+      TCM_EXCLUDES(mutex_);
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const TCM_EXCLUDES(mutex_);
 
   // Registered names in sorted order.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const TCM_EXCLUDES(mutex_);
 
   // One-line description of a registered algorithm ("" when unknown).
-  std::string Description(const std::string& name) const;
+  std::string Description(const std::string& name) const
+      TCM_EXCLUDES(mutex_);
 
   // The process-wide registry, pre-populated with the built-in algorithms:
   //   merge, merge_vmdav, merge_projection, merge_chunked,
@@ -71,8 +74,13 @@ class AlgorithmRegistry {
     PartitionFn fn;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  // nullptr when `name` is unknown; the pointer is only valid while the
+  // lock stays held (entries_ may be rehashed by a concurrent Register).
+  const Entry* FindEntryLocked(const std::string& name) const
+      TCM_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ TCM_GUARDED_BY(mutex_);
 };
 
 // Registers the built-in algorithms into `registry`. Idempotent on

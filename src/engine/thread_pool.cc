@@ -9,6 +9,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads_ = num_threads;
+  MutexLock lock(mutex_);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -18,20 +19,24 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
+  // Claim the worker threads under the lock: with concurrent Shutdown
+  // calls, exactly one caller moves each std::thread out and joins it;
+  // the others find an empty vector and return after the flag flip.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
+    workers.swap(workers_);
   }
-  task_available_.notify_all();
-  for (std::thread& worker : workers_) {
+  task_available_.NotifyAll();
+  for (std::thread& worker : workers) {
     worker.join();
   }
-  workers_.clear();  // second Shutdown() finds nothing to join
 }
 
 bool ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // A task enqueued after the stop flag would sit in the queue forever
     // (workers may already be gone), wedging WaitAll — reject instead so
     // the caller's future reports broken_promise.
@@ -39,31 +44,30 @@ bool ThreadPool::Enqueue(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this]() { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) task_available_.Wait(lock);
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

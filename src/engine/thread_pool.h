@@ -1,16 +1,17 @@
 #ifndef TCM_ENGINE_THREAD_POOL_H_
 #define TCM_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tcm {
 
@@ -23,6 +24,11 @@ namespace tcm {
 // Scheduling is non-deterministic across threads by nature; engine callers
 // obtain deterministic RESULTS by collecting futures in submission order
 // and keeping per-task work independent of scheduling (see sharded.h).
+//
+// Lock discipline (compile-time checked under the `clang-analysis`
+// preset): every piece of shared state is guarded by `mutex_`; public
+// entry points take the lock themselves and are annotated
+// TCM_EXCLUDES(mutex_).
 class ThreadPool {
  public:
   // Spawns `num_threads` workers; 0 means one per hardware thread (at
@@ -58,28 +64,33 @@ class ThreadPool {
 
   // Blocks until the queue is empty and no worker is running a task.
   // Tasks submitted while waiting are waited for too.
-  void WaitAll();
+  void WaitAll() TCM_EXCLUDES(mutex_);
 
   // Graceful stop, the pool's cancellation boundary: rejects every task
   // submitted from this point on, finishes the queued and running ones,
   // and joins the workers. Idempotent; safe to call concurrently with
-  // Submit from other threads (their tasks either run to completion or
-  // are rejected, never lost silently).
-  void Shutdown();
+  // Submit AND with other Shutdown calls (each worker is joined by
+  // exactly one caller; late callers return once the first join sweep
+  // has claimed the threads).
+  void Shutdown() TCM_EXCLUDES(mutex_);
 
  private:
   // Returns false (dropping the task) once Shutdown has begun.
-  bool Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  bool Enqueue(std::function<void()> task) TCM_EXCLUDES(mutex_);
+  void WorkerLoop() TCM_EXCLUDES(mutex_);
 
   size_t num_threads_ = 0;
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool stopping_ = false;
+
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  // Workers are spawned under the lock in the constructor and claimed
+  // (moved out for joining) under the lock in Shutdown, so concurrent
+  // Shutdown calls cannot join the same std::thread twice.
+  std::vector<std::thread> workers_ TCM_GUARDED_BY(mutex_);
+  std::deque<std::function<void()>> queue_ TCM_GUARDED_BY(mutex_);
+  size_t in_flight_ TCM_GUARDED_BY(mutex_) = 0;  // queued + executing
+  bool stopping_ TCM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tcm

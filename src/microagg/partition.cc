@@ -43,8 +43,8 @@ std::vector<size_t> Partition::AssignmentVector() const {
   std::vector<size_t> assignment(n, clusters.size());
   for (size_t c = 0; c < clusters.size(); ++c) {
     for (size_t row : clusters[c]) {
-      TCM_CHECK_LT(row, n) << "record index out of range";
-      TCM_CHECK_EQ(assignment[row], clusters.size())
+      TCM_DCHECK_LT(row, n) << "record index out of range";
+      TCM_DCHECK_EQ(assignment[row], clusters.size())
           << "record " << row << " appears in two clusters";
       assignment[row] = c;
     }

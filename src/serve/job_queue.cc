@@ -51,7 +51,7 @@ JobSnapshot JobQueue::SnapshotLocked(const Record& record) const {
 Result<uint64_t> JobQueue::Submit(JobSpec spec) {
   std::shared_ptr<Record> record;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_) {
       return Status::FailedPrecondition(
           "server is draining and no longer accepts jobs");
@@ -77,11 +77,11 @@ Result<uint64_t> JobQueue::Submit(JobSpec spec) {
 void JobQueue::Execute(const std::shared_ptr<Record>& record) {
   JobSpec spec;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TCM_CHECK(tasks_in_pool_ > 0) << "task entered with no pool count";
     --tasks_in_pool_;
     if (record->state != JobState::kQueued) {  // cancelled in queue
-      changed_.notify_all();  // Drain may be waiting on tasks_in_pool_
+      changed_.NotifyAll();  // Drain may be waiting on tasks_in_pool_
       return;
     }
     record->state = JobState::kRunning;
@@ -90,7 +90,7 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
     // and stay pinned in jobs_ after the job is done. The record is
     // never executed twice, so nothing reads the spec again.
     spec = std::move(record->spec);
-    changed_.notify_all();
+    changed_.NotifyAll();
   }
 
   // The library's public surface reports through Status, but a job can
@@ -109,7 +109,7 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (outcome.ok()) {
       record->state = JobState::kSucceeded;
       // The report JSON never embeds the in-memory release dataset, so
@@ -123,12 +123,12 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
     }
     TCM_CHECK(active_ > 0) << "job finished with no active count";
     --active_;
-    changed_.notify_all();
+    changed_.NotifyAll();
   }
 }
 
 Result<JobSnapshot> JobQueue::Status(uint64_t job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(job_id));
@@ -137,7 +137,7 @@ Result<JobSnapshot> JobQueue::Status(uint64_t job_id) const {
 }
 
 Result<JobSnapshot> JobQueue::Cancel(uint64_t job_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(job_id));
@@ -151,46 +151,45 @@ Result<JobSnapshot> JobQueue::Cancel(uint64_t job_id) {
     record.spec = JobSpec();
     TCM_CHECK(active_ > 0) << "queued job with no active count";
     --active_;
-    changed_.notify_all();
+    changed_.NotifyAll();
   }
   return SnapshotLocked(record);
 }
 
 Result<JobSnapshot> JobQueue::WaitForChange(uint64_t job_id,
                                             JobState seen) const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(job_id));
   }
   const std::shared_ptr<Record> record = it->second;
-  changed_.wait(lock, [&]() { return record->state != seen; });
+  while (record->state == seen) changed_.Wait(lock);
   return SnapshotLocked(*record);
 }
 
 size_t JobQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_;
 }
 
 size_t JobQueue::total_jobs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return jobs_.size();
 }
 
 void JobQueue::CloseSubmissions() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   draining_ = true;
 }
 
 void JobQueue::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   draining_ = true;
   // tasks_in_pool_ too: a task for a cancelled-while-queued job still
   // captures this queue and must have entered (and bounced off) before
   // the queue can be destroyed.
-  changed_.wait(lock,
-                [this]() { return active_ == 0 && tasks_in_pool_ == 0; });
+  while (active_ != 0 || tasks_in_pool_ != 0) changed_.Wait(lock);
 }
 
 }  // namespace tcm

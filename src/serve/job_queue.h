@@ -1,16 +1,16 @@
 #ifndef TCM_SERVE_JOB_QUEUE_H_
 #define TCM_SERVE_JOB_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/job.h"
 #include "common/json.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "engine/thread_pool.h"
 
 namespace tcm {
@@ -71,41 +71,48 @@ class JobQueue {
   // Enqueues the job and returns its id. kFailedPrecondition when the
   // queue is full or draining. The spec is validated by RunJob on a pool
   // worker, so spec errors surface as a kFailed snapshot, not here.
-  Result<uint64_t> Submit(JobSpec spec);
+  Result<uint64_t> Submit(JobSpec spec) TCM_EXCLUDES(mutex_);
 
   // kNotFound for an id never returned by Submit.
-  Result<JobSnapshot> Status(uint64_t job_id) const;
+  Result<JobSnapshot> Status(uint64_t job_id) const TCM_EXCLUDES(mutex_);
 
   // Best-effort cancellation: a kQueued job transitions to kCancelled
   // and never runs; a running or already-terminal job is left untouched.
   // Either way the returned snapshot shows the job's resulting state, so
   // callers observe whether the cancel won the race. kNotFound for an
   // unknown id.
-  Result<JobSnapshot> Cancel(uint64_t job_id);
+  Result<JobSnapshot> Cancel(uint64_t job_id) TCM_EXCLUDES(mutex_);
 
   // Blocks until the job's state differs from `seen`, then returns the
   // new snapshot (immediately when it already differs). Terminal states
   // never change, so waiting on one returns only through a caller bug —
   // pass the state last observed. kNotFound for an unknown id.
-  Result<JobSnapshot> WaitForChange(uint64_t job_id, JobState seen) const;
+  Result<JobSnapshot> WaitForChange(uint64_t job_id, JobState seen) const
+      TCM_EXCLUDES(mutex_);
 
   // Queued + running jobs right now.
-  size_t pending() const;
+  size_t pending() const TCM_EXCLUDES(mutex_);
 
   // Jobs ever submitted (any state).
-  size_t total_jobs() const;
+  size_t total_jobs() const TCM_EXCLUDES(mutex_);
 
   // Rejects all further Submits from this point on without blocking:
   // the instant half of shutdown, safe to call from a connection
   // handler. Idempotent.
-  void CloseSubmissions();
+  void CloseSubmissions() TCM_EXCLUDES(mutex_);
 
   // CloseSubmissions() plus blocking until every queued or running job
   // reaches a terminal state: the graceful-drain half of daemon
   // shutdown. Idempotent.
-  void Drain();
+  void Drain() TCM_EXCLUDES(mutex_);
 
  private:
+  // One job's record. The whole struct is guarded by the owning queue's
+  // mutex_ — records are only reached through jobs_ (or a shared_ptr
+  // copied out of it), and every reader/writer holds the lock. That
+  // discipline is stated here and checked at the access sites of the
+  // queue's own members; the analysis cannot attach a member-of-another-
+  // object capability to a nested struct's fields.
   struct Record {
     uint64_t id = 0;
     JobSpec spec;
@@ -115,24 +122,25 @@ class JobQueue {
     std::shared_ptr<const JsonValue> report;
   };
 
-  JobSnapshot SnapshotLocked(const Record& record) const;
-  void Execute(const std::shared_ptr<Record>& record);
+  JobSnapshot SnapshotLocked(const Record& record) const
+      TCM_REQUIRES(mutex_);
+  void Execute(const std::shared_ptr<Record>& record) TCM_EXCLUDES(mutex_);
 
   ThreadPool* pool_;
   const size_t max_pending_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable changed_;  // any state transition
-  bool draining_ = false;
-  uint64_t next_id_ = 1;
-  size_t active_ = 0;  // queued + running
+  mutable Mutex mutex_;
+  mutable CondVar changed_;  // any state transition
+  bool draining_ TCM_GUARDED_BY(mutex_) = false;
+  uint64_t next_id_ TCM_GUARDED_BY(mutex_) = 1;
+  size_t active_ TCM_GUARDED_BY(mutex_) = 0;  // queued + running
   // Pool tasks submitted but not yet entered. Distinct from active_: a
   // job cancelled while queued leaves active_ immediately, but its pool
   // task (which captures this queue) still sits in the pool until a
   // worker pops it — Drain() must outlast that task too, or destroying
   // the queue after Drain() would leave the task dangling.
-  size_t tasks_in_pool_ = 0;
-  std::map<uint64_t, std::shared_ptr<Record>> jobs_;
+  size_t tasks_in_pool_ TCM_GUARDED_BY(mutex_) = 0;
+  std::map<uint64_t, std::shared_ptr<Record>> jobs_ TCM_GUARDED_BY(mutex_);
 };
 
 }  // namespace tcm

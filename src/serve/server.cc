@@ -68,7 +68,10 @@ Status JobServer::Start() {
   }
   port_ = ntohs(bound.sin_port);
 
-  listen_fd_ = fd;
+  {
+    MutexLock lock(shutdown_mutex_);
+    listen_fd_ = fd;
+  }
   started_ = true;
   accept_thread_ = std::thread([this]() { AcceptLoop(); });
   return Status::Ok();
@@ -77,26 +80,32 @@ Status JobServer::Start() {
 void JobServer::RequestShutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
-  // Wake the accept loop: a shutdown() on a listening socket makes the
-  // blocked accept() return with an error on every mainstream platform.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    // Wake the accept loop: a shutdown() on a listening socket makes the
+    // blocked accept() return with an error on every mainstream
+    // platform. Under shutdown_mutex_ because Wait() closes and
+    // invalidates the descriptor under the same lock — unguarded, this
+    // ::shutdown could land on a recycled fd. Holding the lock here
+    // also pairs with Wait()'s predicate check: a notify cannot slip
+    // between the waiter's stopping_ check and its sleep.
+    MutexLock lock(shutdown_mutex_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
   // Reject submissions immediately — drain itself happens in Wait().
   queue_->CloseSubmissions();
-  {
-    // Pairs with Wait()'s predicate check: without this, a notify could
-    // land between the waiter's check and its sleep and be lost.
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
-  }
-  shutdown_requested_.notify_all();
+  shutdown_requested_.NotifyAll();
 }
 
 void JobServer::Wait() {
   {
-    std::unique_lock<std::mutex> lock(shutdown_mutex_);
-    shutdown_requested_.wait(lock, [this]() { return stopping_.load(); });
+    MutexLock lock(shutdown_mutex_);
+    while (!stopping_.load()) shutdown_requested_.Wait(lock);
+    if (finished_) return;
+    finished_ = true;
+    // The teardown below runs unlocked: the accept loop and connection
+    // handlers take shutdown_mutex_ themselves (fd copy, nested
+    // RequestShutdown), so joining them while holding it would deadlock.
   }
-  if (finished_) return;
-  finished_ = true;
 
   if (accept_thread_.joinable()) accept_thread_.join();
 
@@ -109,7 +118,7 @@ void JobServer::Wait() {
   // stays up so in-flight final events still reach the client.
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     connections.swap(connections_);
   }
   for (const std::unique_ptr<Connection>& connection : connections) {
@@ -121,15 +130,25 @@ void JobServer::Wait() {
   connections.clear();  // closes the sockets
 
   pool_->Shutdown();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  {
+    MutexLock lock(shutdown_mutex_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
   }
 }
 
 void JobServer::AcceptLoop() {
+  // One copy under the lock; the descriptor stays valid for the loop's
+  // whole lifetime because Wait() joins this thread before closing it.
+  int listen_fd;
+  {
+    MutexLock lock(shutdown_mutex_);
+    listen_fd = listen_fd_;
+  }
   while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE) {
@@ -148,7 +167,7 @@ void JobServer::AcceptLoop() {
     connection->channel = LineChannel(fd);
     Connection* raw = connection.get();
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       ReapFinishedConnectionsLocked();
       connections_.push_back(std::move(connection));
     }
@@ -165,7 +184,7 @@ void JobServer::AcceptLoop() {
 // bound.
 void JobServer::ReapFinishedConnectionsLocked() {
   for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
       it = connections_.erase(it);
     } else {
@@ -185,7 +204,11 @@ void JobServer::HandleConnection(Connection* connection) {
       if (!HandleRequest(channel, *line)) break;
     }
   }
-  connection->done.store(true);
+  // Publication order matters: this store is the handler's final
+  // action, strictly after the last use of connection->channel, so the
+  // reaper's acquire load + join sees a connection whose resources are
+  // quiescent before destroying it.
+  connection->done.store(true, std::memory_order_release);
 }
 
 bool JobServer::HandleRequest(LineChannel* channel,

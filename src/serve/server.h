@@ -2,15 +2,15 @@
 #define TCM_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/job_queue.h"
 #include "serve/protocol.h"
 
@@ -61,7 +61,7 @@ class JobServer {
 
   // Binds, listens and starts accepting. kIoError when the address
   // cannot be bound. Call once.
-  Status Start();
+  Status Start() TCM_EXCLUDES(shutdown_mutex_);
 
   // The bound port (the ephemeral pick when options.port was 0). Valid
   // after a successful Start().
@@ -70,14 +70,14 @@ class JobServer {
   // Idempotent, non-blocking, callable from any thread including
   // connection handlers: stops the accept loop and rejects all further
   // job submissions. Drain happens in Wait().
-  void RequestShutdown();
+  void RequestShutdown() TCM_EXCLUDES(shutdown_mutex_);
 
   // Blocks until shutdown is requested, then drains: waits for every
   // queued/running job to finish (their waiters receive the terminal
   // events), wakes idle connections, joins all threads and releases the
   // sockets. Returns once the daemon is fully stopped. Call from one
   // thread (the one that owns the server's lifetime).
-  void Wait();
+  void Wait() TCM_EXCLUDES(shutdown_mutex_, connections_mutex_);
 
   size_t pending_jobs() const { return queue_->pending(); }
 
@@ -85,31 +85,50 @@ class JobServer {
   struct Connection {
     LineChannel channel;
     std::thread thread;
+    // Set by the handler thread as its very last action, after the
+    // final use of `channel`; published with release semantics and read
+    // with acquire by the reaper, which then join()s the thread before
+    // destroying the Connection. The join is what makes the destruction
+    // safe — `done` only tells the reaper which threads are worth
+    // joining on the accept loop's opportunistic sweep.
     std::atomic<bool> done{false};
   };
 
-  void AcceptLoop();
+  void AcceptLoop() TCM_EXCLUDES(shutdown_mutex_, connections_mutex_);
   void HandleConnection(Connection* connection);
   // True while the connection should keep reading requests.
   bool HandleRequest(LineChannel* channel, const std::string& line);
-  void ReapFinishedConnectionsLocked();
+  void ReapFinishedConnectionsLocked() TCM_REQUIRES(connections_mutex_);
 
   ServeOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<JobQueue> queue_;
 
-  int listen_fd_ = -1;
+  // Written once by Start() before the accept thread exists; reads from
+  // other threads see the values through the thread-creation
+  // happens-before edge. Not guarded: both are immutable after Start().
   uint16_t port_ = 0;
-  std::thread accept_thread_;
   bool started_ = false;
-  bool finished_ = false;
+
+  std::thread accept_thread_;
 
   std::atomic<bool> stopping_{false};
-  std::mutex shutdown_mutex_;
-  std::condition_variable shutdown_requested_;
+  mutable Mutex shutdown_mutex_;
+  CondVar shutdown_requested_;
+  // The listening socket. RequestShutdown (any thread, including
+  // connection handlers) calls ::shutdown on it while Wait ::close()s
+  // and invalidates it; unguarded, that pair can race onto a recycled
+  // descriptor. Every touch after Start() therefore holds
+  // shutdown_mutex_.
+  int listen_fd_ TCM_GUARDED_BY(shutdown_mutex_) = -1;
+  // Folded under shutdown_mutex_ so a second Wait() (e.g. explicit call
+  // followed by the destructor's) observes the first one's completion
+  // without relying on the caller to serialize.
+  bool finished_ TCM_GUARDED_BY(shutdown_mutex_) = false;
 
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      TCM_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace tcm

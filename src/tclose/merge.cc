@@ -98,7 +98,7 @@ Result<Partition> MergeUntilTCloseMulti(
         partner = i;
       }
     }
-    TCM_CHECK_LT(partner, live.size());
+    TCM_DCHECK_LT(partner, live.size());
 
     LiveCluster& dst = live[worst];
     LiveCluster& src = live[partner];

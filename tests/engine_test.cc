@@ -119,6 +119,30 @@ TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+// Regression: Shutdown used to iterate workers_ unlocked, so two
+// concurrent callers would both join the same std::thread (terminate)
+// or race on the vector. Workers are now claimed under the pool mutex —
+// exactly one caller joins each thread, the rest fall through.
+TEST(ThreadPoolTest, ConcurrentShutdownCallsAreSafe) {
+  for (int round = 0; round < 16; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran]() {
+        std::this_thread::yield();
+        ++ran;
+      });
+    }
+    std::vector<std::thread> closers;
+    closers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      closers.emplace_back([&pool]() { pool.Shutdown(); });
+    }
+    for (std::thread& closer : closers) closer.join();
+    EXPECT_EQ(ran.load(), 16);  // graceful even when shutdowns race
+  }
+}
+
 // ---------------------------------------------------------------- Registry
 
 TEST(RegistryTest, UnknownNameListsKnownAlgorithms) {

@@ -627,5 +627,51 @@ TEST(ServeShutdownTest, RemoteShutdownVerbCanBeDisabled) {
   EXPECT_EQ(EventName(*pong), "pong");
 }
 
+// Regression: RequestShutdown (any thread) used to call ::shutdown on
+// the bare listen fd while Wait concurrently ::close()d and invalidated
+// it — a race that could hit a recycled descriptor. Both sides now
+// serialize on shutdown_mutex_; hammering shutdown requests from many
+// threads while the owner runs the Wait teardown must stay clean under
+// the TSan preset and never wedge.
+TEST(ServeShutdownTest, ConcurrentShutdownRequestsAndWaitAreSafe) {
+  for (int round = 0; round < 8; ++round) {
+    ServeOptions options;
+    options.threads = 1;
+    JobServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    std::vector<std::thread> requesters;
+    requesters.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      requesters.emplace_back([&server]() { server.RequestShutdown(); });
+    }
+    server.Wait();  // drains; must not race the requesters' ::shutdown
+    for (std::thread& thread : requesters) thread.join();
+  }
+}
+
+// Regression companion to the Connection.done publication-ordering
+// audit: many short-lived connections force the accept loop's reap
+// sweep (done acquire-load + join) to run against handlers finishing
+// concurrently; the final drain must still account for every handler.
+TEST(ServeShutdownTest, ShortLivedConnectionsAreReapedSafely) {
+  ServeOptions options;
+  options.threads = 1;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 32; ++i) {
+    ServeClient client = ConnectOrDie(server);
+    ServeRequest ping;
+    ping.verb = ServeVerb::kPing;
+    ASSERT_TRUE(client.Send(ping).ok());
+    auto pong = client.ReadEvent();
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(EventName(*pong), "pong");
+    // client destructor closes the socket; the handler thread finishes
+    // on its own schedule and is reaped by a later accept or the drain.
+  }
+  server.RequestShutdown();
+  server.Wait();
+}
+
 }  // namespace
 }  // namespace tcm

@@ -2,11 +2,12 @@
 #define TCM_TOOLS_EXIT_CODES_H_
 
 // The documented CLI exit-code contract shared by tcm_anonymize,
-// tcm_serve and tcm_submit (README "Exit codes"), pinned end to end by
-// tools/exit_codes.cmake and tools/serve_smoke.sh. Scripts branch on
-// these numbers the way in-process callers branch on StatusCode: the
-// four public taxonomy entries get distinct codes, everything else
-// collapses to the generic failure.
+// tcm_serve, tcm_submit and tcm_lint (README "Exit codes"), pinned end
+// to end by tools/exit_codes.cmake, tools/serve_smoke.sh and
+// tools/lint_check.cmake. Scripts branch on these numbers the way
+// in-process callers branch on StatusCode: the four public taxonomy
+// entries get distinct codes, everything else collapses to the generic
+// failure.
 //
 //   0  success
 //   1  uncategorized failure
@@ -15,6 +16,12 @@
 //   4  UnknownAlgorithm   - algorithm name not in the registry
 //   5  IoError            - unreadable input / unwritable sink / no daemon
 //   6  PrivacyViolation   - a release failed independent re-verification
+//
+// tcm_lint maps its findings onto the same contract: any failed
+// artifact or consistency check is 3 (the artifact IS an invalid spec),
+// an unreadable named file is 5, bad flags are 2. The README exit-code
+// table is itself one of tcm_lint's checks, so this comment, the table
+// and the constants below cannot drift apart silently.
 
 #include <string_view>
 

@@ -1,0 +1,124 @@
+# ctest driver for tcm_lint: the whole-tree lint must pass on the
+# committed repository, the exit-code contract of tools/exit_codes.h
+# must hold on the tool itself, and an injected-bad-artifact negative
+# test proves the gate actually bites (a lint that cannot fail pins
+# nothing).
+#
+# Invoked by tools/CMakeLists.txt with:
+#   TCM_LINT    path to the tcm_lint binary
+#   REPO_ROOT   the source tree to lint
+#   WORK_DIR    scratch directory for corpora
+
+function(expect_exit label expected actual output)
+  if(NOT actual EQUAL expected)
+    message(FATAL_ERROR
+      "${label}: expected exit ${expected}, got ${actual}\n${output}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- 1. The committed tree lints clean (exit 0). ---------------------------
+execute_process(
+  COMMAND ${TCM_LINT} --root ${REPO_ROOT}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("clean tree" 0 "${result}" "${output}")
+if(NOT output MATCHES "0 failures")
+  message(FATAL_ERROR "clean tree: summary line missing\n${output}")
+endif()
+
+# --- 2. Valid spec corpus: the golden job passes in --spec mode. -----------
+execute_process(
+  COMMAND ${TCM_LINT} --spec ${REPO_ROOT}/tests/golden/job_tclose_first.json
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("valid spec" 0 "${result}" "${output}")
+
+# --- 3. Invalid spec corpus (the json_fuzz rejection classes): every -------
+# one must exit 3 (InvalidSpec per tools/exit_codes.h), never 0/crash.
+file(WRITE "${WORK_DIR}/bad_version.json"
+  "{\"version\": 99, \"input\": {\"kind\": \"synthetic\"}}\n")
+file(WRITE "${WORK_DIR}/bad_unknown_key.json"
+  "{\"input\": {\"kind\": \"synthetic\"}, \"no_such_key\": 1}\n")
+file(WRITE "${WORK_DIR}/bad_type.json"
+  "{\"algorithm\": {\"name\": \"tclose_first\", \"k\": \"five\"}}\n")
+file(WRITE "${WORK_DIR}/bad_truncated.json"
+  "{\"input\": {\"kind\": \"synthetic\"")
+file(WRITE "${WORK_DIR}/bad_range.json"
+  "{\"algorithm\": {\"name\": \"tclose_first\", \"k\": 0}}\n")
+foreach(bad
+    bad_version bad_unknown_key bad_type bad_truncated bad_range)
+  execute_process(
+    COMMAND ${TCM_LINT} --spec ${WORK_DIR}/${bad}.json
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  expect_exit("${bad}" 3 "${result}" "${output}")
+endforeach()
+
+# An unregistered algorithm is still a failed spec artifact: exit 3.
+file(WRITE "${WORK_DIR}/bad_algorithm.json"
+  "{\"algorithm\": {\"name\": \"definitely_not_registered\"}}\n")
+execute_process(
+  COMMAND ${TCM_LINT} --spec ${WORK_DIR}/bad_algorithm.json
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("bad_algorithm" 3 "${result}" "${output}")
+
+# --- 4. Injected bad golden: a tree whose job artifact drifted fails. ------
+set(BAD_TREE "${WORK_DIR}/bad_tree")
+file(MAKE_DIRECTORY "${BAD_TREE}/tests/golden")
+configure_file("${REPO_ROOT}/README.md" "${BAD_TREE}/README.md" COPYONLY)
+file(WRITE "${BAD_TREE}/tests/golden/job_drifted.json"
+  "{\"version\": 1, \"input\": {\"kind\": \"csv\"}}\n")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${BAD_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("injected bad golden" 3 "${result}" "${output}")
+if(NOT output MATCHES "job_drifted")
+  message(FATAL_ERROR
+    "injected bad golden: failure does not name the artifact\n${output}")
+endif()
+
+# --- 5. Drifted docs: a README whose exit-code table disagrees with --------
+# tools/exit_codes.h fails the consistency check.
+set(DOC_TREE "${WORK_DIR}/doc_tree")
+file(MAKE_DIRECTORY "${DOC_TREE}/tests/golden")
+file(READ "${REPO_ROOT}/README.md" readme)
+string(REPLACE "| 6 | `PrivacyViolation`" "| 9 | `PrivacyViolation`"
+  readme_drifted "${readme}")
+if(readme_drifted STREQUAL readme)
+  message(FATAL_ERROR "doc drift setup: exit-code row not found in README")
+endif()
+file(WRITE "${DOC_TREE}/README.md" "${readme_drifted}")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${DOC_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("drifted exit-code table" 3 "${result}" "${output}")
+
+# --- 6. IO and usage errors keep their contract codes. ---------------------
+execute_process(
+  COMMAND ${TCM_LINT} --spec ${WORK_DIR}/definitely_missing.json
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("missing spec file" 5 "${result}" "${output}")
+
+execute_process(
+  COMMAND ${TCM_LINT} --no-such-flag
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("usage error" 2 "${result}" "${output}")
+
+message(STATUS "tcm_lint contract holds: clean tree 0, bad artifacts 3, "
+  "missing file 5, usage 2")

@@ -1,0 +1,423 @@
+// tcm_lint — the repo's domain lint: statically validates the tree's own
+// machine-readable artifacts the way clang-tidy validates its C++. Three
+// invariant families, all cheap enough to gate every merge:
+//
+//   1. JobSpec artifacts. Every job*.json under tests/golden/ and
+//      examples/, every --spec file named explicitly, and every JobSpec-
+//      shaped JSON snippet embedded in docs/sources (fenced ```json
+//      blocks and C++ raw strings) must parse and pass the strict
+//      JobSpec::FromJson validation — the same gate the daemon applies
+//      to wire submissions. A golden or README snippet that drifted from
+//      the schema fails the build here instead of confusing a user.
+//
+//   2. Exit-code contract. The README "Exit codes" table must agree,
+//      code by code, with tools/exit_codes.h (this binary includes the
+//      header, so the constants cannot drift from the check).
+//
+//   3. Version pins. JobSpec::kVersion, RunReport::kVersion and
+//      kServeProtocolVersion must be consistent everywhere they are
+//      spelled: golden documents' "version" keys, the README schema
+//      heading, and every `"protocol":N` in docs and protocol sources.
+//
+// Exit codes follow the shared contract (tools/exit_codes.h): 0 clean,
+// 2 usage error, 3 (InvalidSpec) for any failed artifact or consistency
+// check, 5 (IoError) for an unreadable named file. Pinned by the
+// tools.lint_* ctest suite.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/job.h"
+#include "api/report.h"
+#include "arg_parser.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "exit_codes.h"
+#include "serve/protocol.h"
+
+namespace tcm {
+namespace tools {
+namespace {
+
+constexpr const char* kUsage = R"(usage: tcm_lint [options]
+
+Validates the repository's own JobSpec/golden/doc artifacts.
+
+  --root DIR     repository root to lint (default: current directory)
+  --spec FILE    validate FILE as a strict JobSpec document; repeatable
+                 via a comma-separated list; skips the tree-wide checks
+  --quiet        print nothing on success
+)";
+
+struct LintReport {
+  int checks = 0;
+  int failures = 0;
+  bool io_error = false;
+  bool quiet = false;
+
+  void Pass(const std::string& what) {
+    ++checks;
+    if (!quiet) std::printf("ok: %s\n", what.c_str());
+  }
+  void Fail(const std::string& what, const std::string& why) {
+    ++checks;
+    ++failures;
+    std::fprintf(stderr, "FAIL: %s: %s\n", what.c_str(), why.c_str());
+  }
+  void IoFail(const std::string& what, const std::string& why) {
+    Fail(what, why);
+    io_error = true;
+  }
+};
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ------------------------------------------------------------ JobSpec files
+
+void CheckSpecFile(const std::string& path, LintReport* report) {
+  auto text = ReadFile(path);
+  if (!text) {
+    report->IoFail(path, "cannot read file");
+    return;
+  }
+  auto spec = JobSpec::FromJsonText(*text);
+  if (!spec.ok()) {
+    report->Fail(path, spec.status().message());
+    return;
+  }
+  report->Pass(path + " (strict JobSpec)");
+}
+
+// report*.json goldens are RunReport documents, not JobSpecs; the lint
+// pins their schema version and checks they are valid JSON objects.
+void CheckReportFile(const std::string& path, LintReport* report) {
+  auto text = ReadFile(path);
+  if (!text) {
+    report->IoFail(path, "cannot read file");
+    return;
+  }
+  auto json = ParseJson(*text);
+  if (!json.ok()) {
+    report->Fail(path, json.status().message());
+    return;
+  }
+  if (!json->is_object()) {
+    report->Fail(path, "report document is not a JSON object");
+    return;
+  }
+  const JsonValue* version = json->Find("version");
+  if (version == nullptr) {
+    report->Fail(path, "report golden has no \"version\" key");
+    return;
+  }
+  auto value = version->GetUint();
+  if (!value.ok() ||
+      *value != static_cast<uint64_t>(RunReport::kVersion)) {
+    report->Fail(path, "report \"version\" is not RunReport::kVersion (" +
+                           std::to_string(RunReport::kVersion) + ")");
+    return;
+  }
+  report->Pass(path + " (report version pin)");
+}
+
+void CheckArtifactDirectory(const std::string& dir, LintReport* report) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;  // absent directory is fine (examples/ has no JSON yet)
+  bool saw_any = false;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic output order
+  for (const auto& path : paths) {
+    const std::string name = path.filename().string();
+    saw_any = true;
+    if (name.rfind("job", 0) == 0) {
+      CheckSpecFile(path.string(), report);
+    } else if (name.rfind("report", 0) == 0) {
+      CheckReportFile(path.string(), report);
+    }
+  }
+  if (!saw_any && !report->quiet) {
+    std::printf("note: no JSON artifacts under %s\n", dir.c_str());
+  }
+}
+
+// ------------------------------------------------------------ doc snippets
+
+// Extracts candidate JSON object texts embedded in a file: C++ raw
+// strings R"( ... )" and fenced ```json blocks. Returns the inner texts.
+std::vector<std::string> ExtractEmbeddedJson(const std::string& text) {
+  std::vector<std::string> out;
+  // R"( ... )" — the repo convention for inline spec documents.
+  for (size_t pos = text.find("R\"("); pos != std::string::npos;
+       pos = text.find("R\"(", pos)) {
+    pos += 3;
+    size_t end = text.find(")\"", pos);
+    if (end == std::string::npos) break;
+    out.push_back(text.substr(pos, end - pos));
+    pos = end + 2;
+  }
+  // ```json fenced blocks in markdown.
+  for (size_t pos = text.find("```json"); pos != std::string::npos;
+       pos = text.find("```json", pos)) {
+    pos = text.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+    size_t end = text.find("```", pos);
+    if (end == std::string::npos) break;
+    out.push_back(text.substr(pos, end - pos));
+    pos = end + 3;
+  }
+  return out;
+}
+
+// A snippet is treated as a JobSpec when it parses as a JSON object
+// carrying any of the spec's section keys. Snippets that do not parse at
+// all are skipped — docs legitimately show elided documents ({...}).
+bool LooksLikeJobSpec(const JsonValue& json) {
+  if (!json.is_object()) return false;
+  for (const char* key : {"input", "algorithm", "roles", "sweep"}) {
+    if (json.Find(key) != nullptr) return true;
+  }
+  return false;
+}
+
+void CheckDocSnippets(const std::string& path, LintReport* report) {
+  auto text = ReadFile(path);
+  if (!text) {
+    report->IoFail(path, "cannot read file");
+    return;
+  }
+  int index = 0;
+  for (const std::string& snippet : ExtractEmbeddedJson(*text)) {
+    auto json = ParseJson(snippet);
+    if (!json.ok() || !LooksLikeJobSpec(*json)) continue;
+    ++index;
+    const std::string what =
+        path + " embedded spec #" + std::to_string(index);
+    auto spec = JobSpec::FromJson(*json);
+    if (!spec.ok()) {
+      report->Fail(what, spec.status().message());
+    } else {
+      report->Pass(what);
+    }
+  }
+}
+
+// ------------------------------------------------------------- exit codes
+
+// One expected README table row per constant in tools/exit_codes.h: the
+// code number must appear as a `| N |` row whose text mentions the
+// token. Included straight from the header, so renumbering a constant
+// without updating the docs fails here.
+struct ExpectedExitCode {
+  int code;
+  const char* token;
+};
+
+constexpr ExpectedExitCode kExpectedExitCodes[] = {
+    {kExitOk, "success"},
+    {kExitFailure, "failure"},
+    {kExitUsage, "usage"},
+    {kExitInvalidSpec, "InvalidSpec"},
+    {kExitUnknownAlgorithm, "UnknownAlgorithm"},
+    {kExitIoError, "IoError"},
+    {kExitPrivacyViolation, "PrivacyViolation"},
+};
+
+void CheckExitCodeTable(const std::string& readme_path,
+                        LintReport* report) {
+  auto text = ReadFile(readme_path);
+  if (!text) {
+    report->IoFail(readme_path, "cannot read file");
+    return;
+  }
+  size_t section = text->find("### Exit codes");
+  if (section == std::string::npos) {
+    report->Fail(readme_path, "no \"### Exit codes\" section");
+    return;
+  }
+  size_t section_end = text->find("\n## ", section);
+  const std::string body =
+      text->substr(section, section_end == std::string::npos
+                                ? std::string::npos
+                                : section_end - section);
+
+  // Collect `| N | description |` rows.
+  std::vector<std::pair<int, std::string>> rows;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| ", 0) != 0) continue;
+    size_t bar = line.find('|', 2);
+    if (bar == std::string::npos) continue;
+    const std::string first = line.substr(1, bar - 1);
+    char* end = nullptr;
+    long code = std::strtol(first.c_str(), &end, 10);
+    if (end == first.c_str()) continue;  // header/separator row
+    while (end && *end == ' ') ++end;
+    if (end && *end != '\0') continue;  // not a bare number cell
+    rows.emplace_back(static_cast<int>(code), line.substr(bar + 1));
+  }
+
+  bool ok = true;
+  for (const ExpectedExitCode& expected : kExpectedExitCodes) {
+    int matches = 0;
+    bool token_found = false;
+    for (const auto& [code, description] : rows) {
+      if (code != expected.code) continue;
+      ++matches;
+      if (description.find(expected.token) != std::string::npos) {
+        token_found = true;
+      }
+    }
+    if (matches != 1 || !token_found) {
+      report->Fail(readme_path,
+                   "exit-code table: code " +
+                       std::to_string(expected.code) +
+                       " must appear exactly once and mention \"" +
+                       expected.token + "\"");
+      ok = false;
+    }
+  }
+  const size_t expected_count =
+      sizeof(kExpectedExitCodes) / sizeof(kExpectedExitCodes[0]);
+  if (rows.size() != expected_count) {
+    report->Fail(readme_path,
+                 "exit-code table has " + std::to_string(rows.size()) +
+                     " numeric rows; tools/exit_codes.h defines " +
+                     std::to_string(expected_count));
+    ok = false;
+  }
+  if (ok) report->Pass(readme_path + " (exit-code table)");
+}
+
+// ------------------------------------------------------------ version pins
+
+void CheckProtocolVersionPins(const std::string& path,
+                              LintReport* report) {
+  auto text = ReadFile(path);
+  if (!text) {
+    report->IoFail(path, "cannot read file");
+    return;
+  }
+  bool ok = true;
+  int occurrences = 0;
+  for (size_t pos = text->find("\"protocol\":"); pos != std::string::npos;
+       pos = text->find("\"protocol\":", pos + 1)) {
+    size_t value = pos + 11;
+    while (value < text->size() && (*text)[value] == ' ') ++value;
+    char* end = nullptr;
+    long version = std::strtol(text->c_str() + value, &end, 10);
+    if (end == text->c_str() + value) continue;  // not a literal number
+    ++occurrences;
+    if (version != kServeProtocolVersion) {
+      report->Fail(path, "\"protocol\":" + std::to_string(version) +
+                             " disagrees with kServeProtocolVersion (" +
+                             std::to_string(kServeProtocolVersion) + ")");
+      ok = false;
+    }
+  }
+  if (ok) {
+    report->Pass(path + " (protocol version, " +
+                 std::to_string(occurrences) + " pins)");
+  }
+}
+
+void CheckReadmeSchemaVersion(const std::string& readme_path,
+                              LintReport* report) {
+  auto text = ReadFile(readme_path);
+  if (!text) {
+    report->IoFail(readme_path, "cannot read file");
+    return;
+  }
+  const std::string needle = "schema (version ";
+  size_t pos = text->find(needle);
+  if (pos == std::string::npos) {
+    report->Fail(readme_path, "no \"job.json schema (version N)\" heading");
+    return;
+  }
+  long version =
+      std::strtol(text->c_str() + pos + needle.size(), nullptr, 10);
+  if (version != JobSpec::kVersion) {
+    report->Fail(readme_path,
+                 "schema heading says version " + std::to_string(version) +
+                     "; JobSpec::kVersion is " +
+                     std::to_string(JobSpec::kVersion));
+    return;
+  }
+  report->Pass(readme_path + " (job.json schema version heading)");
+}
+
+// ----------------------------------------------------------------- driver
+
+int Run(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> spec_files;
+  bool quiet = false;
+  ArgParser parser(kUsage);
+  parser.AddString("--root", &root);
+  parser.AddStringList("--spec", &spec_files);
+  parser.AddFlag("--quiet", &quiet);
+  if (!parser.Parse(argc, argv)) return kExitUsage;
+
+  LintReport report;
+  report.quiet = quiet;
+
+  if (!spec_files.empty()) {
+    for (const std::string& file : spec_files) {
+      CheckSpecFile(file, &report);
+    }
+  } else {
+    const std::filesystem::path base(root);
+    if (!std::filesystem::exists(base)) {
+      std::fprintf(stderr, "FAIL: root %s does not exist\n", root.c_str());
+      return kExitIoError;
+    }
+    CheckArtifactDirectory((base / "tests" / "golden").string(), &report);
+    CheckArtifactDirectory((base / "examples").string(), &report);
+    const std::string readme = (base / "README.md").string();
+    CheckDocSnippets(readme, &report);
+    CheckExitCodeTable(readme, &report);
+    CheckReadmeSchemaVersion(readme, &report);
+    CheckProtocolVersionPins(readme, &report);
+    const std::string protocol_header =
+        (base / "src" / "serve" / "protocol.h").string();
+    if (std::filesystem::exists(protocol_header)) {
+      CheckDocSnippets(protocol_header, &report);
+      CheckProtocolVersionPins(protocol_header, &report);
+    }
+  }
+
+  if (!quiet || report.failures > 0) {
+    std::fprintf(report.failures ? stderr : stdout,
+                 "tcm_lint: %d checks, %d failures\n", report.checks,
+                 report.failures);
+  }
+  if (report.io_error) return kExitIoError;
+  return report.failures == 0 ? kExitOk : kExitInvalidSpec;
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace tcm
+
+int main(int argc, char** argv) { return tcm::tools::Run(argc, argv); }
