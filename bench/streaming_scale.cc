@@ -11,10 +11,12 @@
 //   TCM_SHARD     — rows per shard             (default 4096)
 //   TCM_ALGO      — registry algorithm name    (default merge_chunked)
 //   TCM_BENCH_OUT — output JSON path           (default BENCH_streaming.json)
+//   TCM_TRACE_OUT — Chrome trace-event JSON of the runs' spans (default off)
 //   TCM_FAST      — nonzero: 60k rows / 20k budget for smoke runs
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "common/timer.h"
 #include "data/record_source.h"
 #include "engine/streaming.h"
+#include "obs/trace.h"
 
 int main() {
   const bool fast = tcm_bench::FastMode();
@@ -49,6 +52,14 @@ int main() {
   spec.shard_size = shard_size;
   spec.max_resident_rows = resident;
   spec.verify = true;
+
+  // With TCM_TRACE_OUT, every run's stage and window spans land in one
+  // Chrome trace file (the CI bench-smoke job uploads it as an artifact).
+  std::optional<tcm::TraceSink> trace_sink;
+  const char* trace_env = std::getenv("TCM_TRACE_OUT");
+  if (trace_env != nullptr && *trace_env != '\0') {
+    trace_sink.emplace(trace_env);
+  }
 
   std::vector<std::string> json_lines;
   double reference_seconds = 0.0;
@@ -101,5 +112,15 @@ int main() {
   std::fprintf(out, "]\n");
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
+
+  if (trace_sink.has_value()) {
+    tcm::Status finished = trace_sink->Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   finished.ToString().c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", trace_env);
+  }
   return 0;
 }

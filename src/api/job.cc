@@ -266,12 +266,14 @@ Status ParseExecution(const JsonValue& json, JobExecution* execution) {
 
 Status ParseOutput(const JsonValue& json, JobOutput* output) {
   TCM_RETURN_IF_ERROR(RequireObject(json, "output"));
-  TCM_RETURN_IF_ERROR(
-      CheckKeys(json, "output", {"release_path", "report_path"}));
+  TCM_RETURN_IF_ERROR(CheckKeys(json, "output",
+                                {"release_path", "report_path", "trace_path"}));
   TCM_RETURN_IF_ERROR(
       ReadString(json, "output", "release_path", &output->release_path));
   TCM_RETURN_IF_ERROR(
       ReadString(json, "output", "report_path", &output->report_path));
+  TCM_RETURN_IF_ERROR(
+      ReadString(json, "output", "trace_path", &output->trace_path));
   return Status::Ok();
 }
 
@@ -442,13 +444,17 @@ JsonValue JobSpec::ToJson() const {
 
   json.Set("verify", verify);
 
-  if (!output.release_path.empty() || !output.report_path.empty()) {
+  if (!output.release_path.empty() || !output.report_path.empty() ||
+      !output.trace_path.empty()) {
     JsonValue output_json = JsonValue::MakeObject();
     if (!output.release_path.empty()) {
       output_json.Set("release_path", output.release_path);
     }
     if (!output.report_path.empty()) {
       output_json.Set("report_path", output.report_path);
+    }
+    if (!output.trace_path.empty()) {
+      output_json.Set("trace_path", output.trace_path);
     }
     json.Set("output", std::move(output_json));
   }

@@ -105,6 +105,10 @@ struct JobSweep {
 struct JobOutput {
   std::string release_path;  // anonymized CSV
   std::string report_path;   // machine-readable RunReport JSON
+  // Chrome trace-event JSON of the run (obs/trace.h). Naming a path
+  // enables tracing for the duration of the job; open the file in
+  // chrome://tracing or https://ui.perfetto.dev.
+  std::string trace_path;
 };
 
 struct JobSpec {

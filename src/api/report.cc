@@ -54,6 +54,14 @@ JsonValue RunReport::ToJson() const {
   timings.Set("total_seconds", total_seconds);
   json.Set("timings", std::move(timings));
 
+  if (!stage_seconds.empty()) {
+    JsonValue stages = JsonValue::MakeObject();
+    for (const auto& [name, seconds] : stage_seconds) {
+      stages.Set(name, seconds);
+    }
+    json.Set("stage_seconds", std::move(stages));
+  }
+
   if (!release_path.empty()) {
     JsonValue output_json = JsonValue::MakeObject();
     output_json.Set("release_path", release_path);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/job.h"
@@ -81,6 +82,14 @@ struct RunReport {
   double verify_seconds = 0.0;
   double write_seconds = 0.0;
   double total_seconds = 0.0;
+
+  // Optional finer breakdown of the anonymize stage (insertion-ordered;
+  // serialized as the "stage_seconds" object when non-empty). Every key
+  // ends in "_seconds" so the golden timing normalization catches these
+  // too. Sweeps leave it empty; in-memory and streaming runs report
+  // shard / shard_anonymize / merge / metrics splits — the signal the
+  // sequential-merge scaling work is judged against.
+  std::vector<std::pair<std::string, double>> stage_seconds;
 
   std::string release_path;  // empty when no release CSV was written
 

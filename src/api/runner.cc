@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "engine/batch.h"
 #include "engine/pipeline.h"
 #include "engine/streaming.h"
+#include "obs/trace.h"
 
 namespace tcm {
 namespace {
@@ -127,6 +129,12 @@ Status RunInMemoryJob(const JobSpec& spec, RunReport* report) {
   report->anonymize_seconds = pipeline_report.anonymize_seconds;
   report->verify_seconds = pipeline_report.verify_seconds;
   report->write_seconds = pipeline_report.write_seconds;
+  report->stage_seconds = {
+      {"shard_seconds", pipeline_report.shard_seconds},
+      {"shard_anonymize_seconds", pipeline_report.shard_anonymize_seconds},
+      {"merge_seconds", pipeline_report.merge_seconds},
+      {"metrics_seconds", pipeline_report.metrics_seconds},
+  };
   report->release = std::move(pipeline_report.result.anonymized);
   return Status::Ok();
 }
@@ -202,6 +210,12 @@ Status RunStreamingJob(const JobSpec& spec, RunReport* report) {
   report->anonymize_seconds = streaming_report.anonymize_seconds;
   report->verify_seconds = streaming_report.verify_seconds;
   report->write_seconds = streaming_report.write_seconds;
+  report->stage_seconds = {
+      {"shard_seconds", streaming_report.shard_seconds},
+      {"shard_anonymize_seconds", streaming_report.shard_anonymize_seconds},
+      {"merge_seconds", streaming_report.merge_seconds},
+      {"metrics_seconds", streaming_report.metrics_seconds},
+  };
   report->windows = std::move(streaming_report.windows);
   return Status::Ok();
 }
@@ -289,6 +303,15 @@ Status RunSweepJob(const JobSpec& spec, RunReport* report) {
 Result<RunReport> RunJob(const JobSpec& spec) {
   TCM_RETURN_IF_ERROR(spec.Validate());
 
+  // Trace sink: collect spans for the duration of this job and export
+  // them as Chrome trace-event JSON. The recorder is process-global, so
+  // concurrent jobs (the serve daemon) share one trace when any of them
+  // asks for it.
+  std::optional<TraceSink> trace_sink;
+  if (!spec.output.trace_path.empty()) {
+    trace_sink.emplace(spec.output.trace_path);
+  }
+
   WallTimer total;
   RunReport report;
   report.mode = spec.execution.mode;
@@ -300,18 +323,24 @@ Result<RunReport> RunJob(const JobSpec& spec) {
   report.verify_requested = spec.verify && !report.swept;
   if (!report.swept) report.release_path = spec.output.release_path;
 
-  if (report.swept) {
-    TCM_RETURN_IF_ERROR(RunSweepJob(spec, &report));
-  } else if (spec.execution.mode == ExecutionMode::kStreaming) {
-    TCM_RETURN_IF_ERROR(RunStreamingJob(spec, &report));
-  } else {
-    TCM_RETURN_IF_ERROR(RunInMemoryJob(spec, &report));
+  {
+    TraceSpan job_span("job");
+    if (report.swept) {
+      TCM_RETURN_IF_ERROR(RunSweepJob(spec, &report));
+    } else if (spec.execution.mode == ExecutionMode::kStreaming) {
+      TCM_RETURN_IF_ERROR(RunStreamingJob(spec, &report));
+    } else {
+      TCM_RETURN_IF_ERROR(RunInMemoryJob(spec, &report));
+    }
   }
   report.total_seconds = total.ElapsedSeconds();
 
   if (!spec.output.report_path.empty()) {
     TCM_RETURN_IF_ERROR(
         WriteJsonFile(report.ToJson(), spec.output.report_path));
+  }
+  if (trace_sink.has_value()) {
+    TCM_RETURN_IF_ERROR(trace_sink->Finish());
   }
   return report;
 }

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "data/csv.h"
+#include "obs/trace.h"
 #include "privacy/kanonymity.h"
 #include "privacy/tcloseness.h"
 
@@ -79,9 +80,13 @@ Result<PipelineReport> PipelineRunner::Run(const PipelineSpec& spec) {
   }
   WallTimer total;
   WallTimer timer;
-  TCM_ASSIGN_OR_RETURN(Dataset data, ReadNumericCsv(spec.input_path));
-  TCM_RETURN_IF_ERROR(
-      AssignRoles(&data, spec.quasi_identifiers, spec.confidential));
+  Dataset data;
+  {
+    TraceSpan span("load");
+    TCM_ASSIGN_OR_RETURN(data, ReadNumericCsv(spec.input_path));
+    TCM_RETURN_IF_ERROR(
+        AssignRoles(&data, spec.quasi_identifiers, spec.confidential));
+  }
   double load_seconds = timer.ElapsedSeconds();
   // Roles are assigned; clear the name lists so the in-memory stage does
   // not copy the dataset just to re-assign them.
@@ -105,6 +110,7 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
   Dataset staged;
   const Dataset* input = &data;
   if (!spec.quasi_identifiers.empty() || !spec.confidential.empty()) {
+    TraceSpan span("load");
     staged = data;
     TCM_RETURN_IF_ERROR(
         AssignRoles(&staged, spec.quasi_identifiers, spec.confidential));
@@ -126,10 +132,15 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
   report.num_shards = stats.num_shards;
   report.final_merges = stats.final_merges;
   report.anonymize_seconds = timer.ElapsedSeconds();
+  report.shard_seconds = stats.shard_seconds;
+  report.shard_anonymize_seconds = stats.anonymize_seconds;
+  report.merge_seconds = stats.merge_seconds;
+  report.metrics_seconds = stats.measure_seconds;
 
   // Verify stage: independent re-check of both guarantees, the way an
   // auditor (not the algorithm) would.
   if (spec.verify) {
+    TraceSpan span("verify");
     timer.Restart();
     TCM_ASSIGN_OR_RETURN(
         ReleaseVerification verification,
@@ -142,6 +153,7 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
 
   // Write stage.
   if (!spec.output_path.empty()) {
+    TraceSpan span("write");
     timer.Restart();
     TCM_RETURN_IF_ERROR(WriteCsv(report.result.anonymized,
                                  spec.output_path));

@@ -61,6 +61,12 @@ struct PipelineReport {
   double verify_seconds = 0.0;
   double write_seconds = 0.0;
   double total_seconds = 0.0;
+  // Finer breakdown of the anonymize stage (from ShardedAnonymizeStats);
+  // single-shard runs report everything under shard_anonymize_seconds.
+  double shard_seconds = 0.0;           // plan + shard materialization
+  double shard_anonymize_seconds = 0.0; // per-shard fan-out wall clock
+  double merge_seconds = 0.0;           // global MergeUntilTClose pass
+  double metrics_seconds = 0.0;         // aggregation + utility metrics
 };
 
 // Executes PipelineSpecs on an owned thread pool. The release is

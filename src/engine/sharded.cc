@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "distance/emd.h"
 #include "distance/qi_space.h"
+#include "obs/trace.h"
 #include "tclose/merge.h"
 
 namespace tcm {
@@ -47,6 +48,7 @@ struct ShardOutcome {
 ShardOutcome RunShard(const Dataset& shard_data, const std::string& algorithm,
                       const AlgorithmParams& params) {
   ShardOutcome outcome;
+  TraceSpan span("shard_anonymize");
   WallTimer timer;
   auto fn = AlgorithmRegistry::BuiltIns().Find(algorithm);
   if (!fn.ok()) {
@@ -76,43 +78,60 @@ Result<AnonymizationResult> ShardedAnonymize(
   TCM_RETURN_IF_ERROR(ValidateAlgorithmInputs(data, params));
 
   WallTimer timer;
+  WallTimer stage_timer;
   ShardPlan plan = MakeShardPlan(data.NumRecords(), options.shard_size,
                                  params.k);
   if (stats != nullptr) *stats = ShardedAnonymizeStats{};
   if (stats != nullptr) stats->num_shards = plan.NumShards();
 
   if (plan.NumShards() == 1) {
-    return RunAlgorithm(data, options.algorithm, params);
+    TraceSpan span("anonymize");
+    auto result = RunAlgorithm(data, options.algorithm, params);
+    if (stats != nullptr) {
+      stats->anonymize_seconds = stage_timer.ElapsedSeconds();
+    }
+    return result;
   }
 
   // Materialize the shard datasets up front (serial, cheap row copies);
   // worker tasks then touch only their own shard.
   std::vector<Dataset> shard_data;
-  shard_data.reserve(plan.NumShards());
-  for (const std::vector<size_t>& rows : plan.shards) {
-    TCM_ASSIGN_OR_RETURN(Dataset shard, data.Select(rows));
-    shard_data.push_back(std::move(shard));
+  {
+    TraceSpan span("shard");
+    shard_data.reserve(plan.NumShards());
+    for (const std::vector<size_t>& rows : plan.shards) {
+      TCM_ASSIGN_OR_RETURN(Dataset shard, data.Select(rows));
+      shard_data.push_back(std::move(shard));
+    }
   }
+  if (stats != nullptr) stats->shard_seconds = stage_timer.ElapsedSeconds();
 
   // Fan the shards across the pool; collect in shard order so the merged
   // partition never depends on completion order.
+  stage_timer.Restart();
   std::vector<ShardOutcome> outcomes(plan.NumShards());
-  std::vector<std::future<ShardOutcome>> futures;
-  for (size_t s = 0; s < plan.NumShards(); ++s) {
-    AlgorithmParams shard_params = params;
-    shard_params.seed = params.seed + 0x9E3779B97F4A7C15ULL * (s + 1);
-    const Dataset& shard = shard_data[s];
-    auto task = [&shard, algorithm = options.algorithm, shard_params]() {
-      return RunShard(shard, algorithm, shard_params);
-    };
-    if (pool != nullptr) {
-      futures.push_back(pool->Submit(std::move(task)));
-    } else {
-      outcomes[s] = task();
+  {
+    TraceSpan span("anonymize");
+    std::vector<std::future<ShardOutcome>> futures;
+    for (size_t s = 0; s < plan.NumShards(); ++s) {
+      AlgorithmParams shard_params = params;
+      shard_params.seed = params.seed + 0x9E3779B97F4A7C15ULL * (s + 1);
+      const Dataset& shard = shard_data[s];
+      auto task = [&shard, algorithm = options.algorithm, shard_params]() {
+        return RunShard(shard, algorithm, shard_params);
+      };
+      if (pool != nullptr) {
+        futures.push_back(pool->Submit(std::move(task)));
+      } else {
+        outcomes[s] = task();
+      }
+    }
+    for (size_t s = 0; s < futures.size(); ++s) {
+      outcomes[s] = futures[s].get();
     }
   }
-  for (size_t s = 0; s < futures.size(); ++s) {
-    outcomes[s] = futures[s].get();
+  if (stats != nullptr) {
+    stats->anonymize_seconds = stage_timer.ElapsedSeconds();
   }
 
   Partition merged;
@@ -143,6 +162,8 @@ Result<AnonymizationResult> ShardedAnonymize(
   size_t final_merges = 0;
   std::optional<EmdCalculator> global_emd;
   if (options.final_merge) {
+    TraceSpan span("merge");
+    stage_timer.Restart();
     QiSpace space(data, params.normalization);
     global_emd.emplace(data, 0);
     MergeStats merge_stats;
@@ -150,13 +171,19 @@ Result<AnonymizationResult> ShardedAnonymize(
                          MergeUntilTClose(space, *global_emd, params.t,
                                           std::move(merged), &merge_stats));
     final_merges = merge_stats.merges;
-    if (stats != nullptr) stats->final_merges = final_merges;
+    if (stats != nullptr) {
+      stats->final_merges = final_merges;
+      stats->merge_seconds = stage_timer.ElapsedSeconds();
+    }
   }
 
+  TraceSpan measure_span("metrics");
+  stage_timer.Restart();
   TCM_ASSIGN_OR_RETURN(
       AnonymizationResult result,
       MeasurePartition(data, std::move(merged), timer.ElapsedSeconds(),
                        global_emd ? &*global_emd : nullptr));
+  if (stats != nullptr) stats->measure_seconds = stage_timer.ElapsedSeconds();
   result.elapsed_seconds = timer.ElapsedSeconds();
   result.merges = final_merges;
   return result;

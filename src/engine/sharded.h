@@ -48,6 +48,12 @@ struct ShardedAnonymizeStats {
   size_t num_shards = 1;
   size_t final_merges = 0;        // cluster mergers in the global pass
   double max_shard_seconds = 0.0; // slowest shard (parallel critical path)
+  // Per-stage wall clock inside this call (single-shard runs report the
+  // whole algorithm under anonymize_seconds and zero elsewhere).
+  double shard_seconds = 0.0;     // shard plan + per-shard materialization
+  double anonymize_seconds = 0.0; // per-shard fan-out, submission to join
+  double merge_seconds = 0.0;     // global MergeUntilTClose repair pass
+  double measure_seconds = 0.0;   // aggregation + utility measurement
 };
 
 // Anonymizes `data` shard-by-shard on `pool` (serially when pool is null

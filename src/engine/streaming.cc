@@ -9,6 +9,7 @@
 #include "engine/pipeline.h"
 #include "engine/registry.h"
 #include "engine/sharded.h"
+#include "obs/trace.h"
 
 namespace tcm {
 namespace {
@@ -67,29 +68,34 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
   WallTimer total;
   WallTimer timer;
   while (!exhausted) {
+    TraceSpan window_span("window");
     // Assemble the next window: carried read-ahead rows first, then fill
     // from the stream, then read k rows ahead to learn whether this is
     // the final window.
     timer.Restart();
     Dataset window(schema);
-    for (size_t row = 0; row < carry.NumRecords(); ++row) {
-      TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
-    }
-    carry = Dataset(schema);
-    if (window.NumRecords() < window_target) {
-      TCM_RETURN_IF_ERROR(
-          source->ReadInto(&window, window_target - window.NumRecords())
-              .status());
-    }
-    TCM_ASSIGN_OR_RETURN(size_t ahead, source->ReadInto(&carry, read_ahead));
-    if (ahead < read_ahead) {
-      // Stream exhausted inside the read-ahead: its rows are too few to
-      // anonymize alone, so they join this (final) window.
+    {
+      TraceSpan span("read");
       for (size_t row = 0; row < carry.NumRecords(); ++row) {
         TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
       }
       carry = Dataset(schema);
-      exhausted = true;
+      if (window.NumRecords() < window_target) {
+        TCM_RETURN_IF_ERROR(
+            source->ReadInto(&window, window_target - window.NumRecords())
+                .status());
+      }
+      TCM_ASSIGN_OR_RETURN(size_t ahead,
+                           source->ReadInto(&carry, read_ahead));
+      if (ahead < read_ahead) {
+        // Stream exhausted inside the read-ahead: its rows are too few to
+        // anonymize alone, so they join this (final) window.
+        for (size_t row = 0; row < carry.NumRecords(); ++row) {
+          TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
+        }
+        carry = Dataset(schema);
+        exhausted = true;
+      }
     }
     report.read_seconds += timer.ElapsedSeconds();
     report.peak_resident_rows =
@@ -111,6 +117,10 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
     }
     double anonymize_seconds = timer.ElapsedSeconds();
     report.anonymize_seconds += anonymize_seconds;
+    report.shard_seconds += stats.shard_seconds;
+    report.shard_anonymize_seconds += stats.anonymize_seconds;
+    report.merge_seconds += stats.merge_seconds;
+    report.metrics_seconds += stats.measure_seconds;
 
     StreamingWindowSummary summary;
     summary.rows = window.NumRecords();
@@ -125,6 +135,7 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
 
     // Verify: independent re-check of both guarantees per window.
     if (spec.verify) {
+      TraceSpan span("verify");
       timer.Restart();
       TCM_ASSIGN_OR_RETURN(
           ReleaseVerification verification,
@@ -140,6 +151,7 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
 
     // Write: header once, then each window's release rows.
     if (!spec.output_path.empty()) {
+      TraceSpan span("write");
       timer.Restart();
       if (writer == nullptr) {
         TCM_ASSIGN_OR_RETURN(

@@ -93,6 +93,12 @@ struct StreamingReport {
   double write_seconds = 0.0;
   // Wall-clock of the whole Run call (stage gaps included).
   double total_seconds = 0.0;
+  // Finer anonymize-stage breakdown, summed across windows (from each
+  // window's ShardedAnonymizeStats).
+  double shard_seconds = 0.0;           // plan + shard materialization
+  double shard_anonymize_seconds = 0.0; // per-shard fan-out wall clock
+  double merge_seconds = 0.0;           // global MergeUntilTClose passes
+  double metrics_seconds = 0.0;         // aggregation + utility metrics
   std::vector<StreamingWindowSummary> windows;
 };
 

@@ -1,0 +1,185 @@
+#include "obs/log.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace tcm {
+namespace {
+
+// Seconds since the first log touch, printed as the ts= field. Relative
+// time keeps lines short and diffable; absolute time belongs to the
+// process supervisor.
+double UptimeSeconds() {
+  static const WallTimer* timer = new WallTimer();
+  return timer->ElapsedSeconds();
+}
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendQuoted(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "off";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  for (LogLevel candidate :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff}) {
+    if (text == LogLevelName(candidate)) {
+      *level = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::kOff)), fd_(2) {
+  const char* env = std::getenv("TCM_LOG");
+  if (env != nullptr) {
+    LogLevel level = LogLevel::kOff;
+    if (ParseLogLevel(env, &level)) {
+      level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    }
+  }
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Write(std::string_view line) {
+  std::string buffer;
+  buffer.reserve(line.size() + 1);
+  buffer.append(line);
+  buffer.push_back('\n');
+  // One write(2) per line keeps concurrent writers from interleaving on
+  // pipe-backed sinks (POSIX guarantees atomicity up to PIPE_BUF).
+  ssize_t ignored = ::write(fd(), buffer.data(), buffer.size());
+  (void)ignored;
+}
+
+LogLine::LogLine(LogLevel level, bool enabled) : enabled_(enabled) {
+  if (!enabled_) return;
+  char header[64];
+  std::snprintf(header, sizeof(header), "ts=%.3f level=%s", UptimeSeconds(),
+                LogLevelName(level));
+  line_.assign(header);
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  Logger::Global().Write(line_);
+}
+
+void LogLine::AppendRaw(std::string_view key, std::string_view value) {
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  if (NeedsQuoting(value)) {
+    AppendQuoted(&line_, value);
+  } else {
+    line_.append(value);
+  }
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::string_view value) {
+  if (enabled_) AppendRaw(key, value);
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, bool value) {
+  return Kv(key, value ? std::string_view("true") : std::string_view("false"));
+}
+
+LogLine& LogLine::Kv(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  AppendRaw(key, buffer);
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, long long value) {
+  if (!enabled_) return *this;
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%lld", value);
+  AppendRaw(key, buffer);
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, unsigned long long value) {
+  if (!enabled_) return *this;
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu", value);
+  AppendRaw(key, buffer);
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, int value) {
+  return Kv(key, static_cast<long long>(value));
+}
+
+LogLine& LogLine::Kv(std::string_view key, unsigned int value) {
+  return Kv(key, static_cast<unsigned long long>(value));
+}
+
+LogLine& LogLine::Kv(std::string_view key, long value) {
+  return Kv(key, static_cast<long long>(value));
+}
+
+LogLine& LogLine::Kv(std::string_view key, unsigned long value) {
+  return Kv(key, static_cast<unsigned long long>(value));
+}
+
+}  // namespace tcm

@@ -1,0 +1,108 @@
+#ifndef TCM_OBS_LOG_H_
+#define TCM_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tcm {
+
+// Severity levels, ordered. kOff disables everything.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Stable lower-case name ("debug", "info", "warn", "error", "off").
+const char* LogLevelName(LogLevel level);
+
+// Parses a level name (case-sensitive, the names above). Returns false
+// and leaves *level untouched on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+// Process-wide leveled key=value line logger behind the TCM_LOG macro:
+//
+//   TCM_LOG(kInfo).Msg("listening").Kv("port", port).Kv("threads", n);
+//   // -> ts=12.034 level=info msg=listening port=7070 threads=8
+//
+// Logging is OFF by default (kOff); long-running tools opt in with
+// --log-level and everything honors the TCM_LOG environment variable
+// (read once, at first use — set TCM_LOG=debug to see library internals
+// in any binary). Each line is emitted with a single write(2) to an
+// injectable file descriptor (stderr by default), so tests can point the
+// sink at a pipe and concurrent lines never interleave.
+class Logger {
+ public:
+  Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  static Logger& Global();
+
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return level != LogLevel::kOff && level >= this->level();
+  }
+
+  // Redirects output; the caller keeps ownership of the descriptor.
+  void SetFd(int fd) { fd_.store(fd, std::memory_order_relaxed); }
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+
+  // Emits one already-formatted line (newline appended).
+  void Write(std::string_view line);
+
+ private:
+  std::atomic<int> level_;
+  std::atomic<int> fd_;
+};
+
+// One log line under construction; emitted on destruction. When the
+// line's level is below the logger's threshold every call is a no-op —
+// arguments are still evaluated, so keep expensive values out of log
+// statements on hot paths (instrument with TraceSpan/metrics instead).
+class LogLine {
+ public:
+  LogLine(LogLevel level, bool enabled);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  // The free-form message, conventionally the first field.
+  LogLine& Msg(std::string_view text) { return Kv("msg", text); }
+
+  LogLine& Kv(std::string_view key, std::string_view value);
+  LogLine& Kv(std::string_view key, const char* value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogLine& Kv(std::string_view key, const std::string& value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogLine& Kv(std::string_view key, bool value);
+  LogLine& Kv(std::string_view key, int value);
+  LogLine& Kv(std::string_view key, unsigned int value);
+  LogLine& Kv(std::string_view key, long value);
+  LogLine& Kv(std::string_view key, unsigned long value);
+  LogLine& Kv(std::string_view key, long long value);
+  LogLine& Kv(std::string_view key, unsigned long long value);
+  LogLine& Kv(std::string_view key, double value);
+
+ private:
+  void AppendRaw(std::string_view key, std::string_view value);
+
+  bool enabled_;
+  std::string line_;
+};
+
+}  // namespace tcm
+
+// TCM_LOG(kInfo).Msg("...").Kv("key", value) — the line is emitted when
+// the temporary dies at the end of the full expression.
+#define TCM_LOG(level)                  \
+  ::tcm::LogLine(::tcm::LogLevel::level, \
+                 ::tcm::Logger::Global().Enabled(::tcm::LogLevel::level))
+
+#endif  // TCM_OBS_LOG_H_

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tcm {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+const std::vector<double>& MetricsRegistry::DefaultLatencyBuckets() {
+  // Exponential 1ms .. 512s ladder: job latencies from a trivial
+  // synthetic spec to a million-row streaming run all resolve to a
+  // distinct bucket.
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>();
+    for (double edge = 0.001; edge <= 512.0; edge *= 2.0) b->push_back(edge);
+    return b;
+  }();
+  return *buckets;
+}
+
+void MetricsRegistry::IncrementCounter(std::string_view name, uint64_t delta) {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::HistogramLocked(
+    std::string_view name, const std::vector<double>* boundaries) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  Histogram h;
+  h.boundaries = boundaries != nullptr ? *boundaries : DefaultLatencyBuckets();
+  TCM_CHECK(!h.boundaries.empty()) << "histogram needs at least one boundary";
+  for (size_t i = 1; i < h.boundaries.size(); ++i) {
+    TCM_CHECK(h.boundaries[i - 1] < h.boundaries[i])
+        << "histogram boundaries must be strictly increasing";
+  }
+  h.bucket_counts.assign(h.boundaries.size() + 1, 0);
+  return histograms_.emplace(std::string(name), std::move(h)).first->second;
+}
+
+void MetricsRegistry::RegisterHistogram(std::string_view name,
+                                        std::vector<double> boundaries) {
+  MutexLock lock(mutex_);
+  HistogramLocked(name, &boundaries);
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  MutexLock lock(mutex_);
+  Histogram& h = HistogramLocked(name, nullptr);
+  auto it = std::lower_bound(h.boundaries.begin(), h.boundaries.end(), value);
+  size_t bucket = static_cast<size_t>(it - h.boundaries.begin());
+  ++h.bucket_counts[bucket];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+HistogramSnapshot MetricsRegistry::SnapshotOf(const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.count = h.count;
+  snap.sum = h.sum;
+  snap.min = h.min;
+  snap.max = h.max;
+  if (h.count == 0) return snap;
+  auto quantile = [&h](double q) {
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(h.count)));
+    if (rank < 1) rank = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      seen += h.bucket_counts[b];
+      if (seen >= rank) {
+        // The overflow bucket has no upper boundary; the observed max is
+        // its tightest representative. Clamp to [min, max] so quantiles
+        // never leave the observed range.
+        double edge = b < h.boundaries.size() ? h.boundaries[b] : h.max;
+        return std::min(std::max(edge, h.min), h.max);
+      }
+    }
+    return h.max;  // unreachable: buckets sum to count
+  };
+  snap.p50 = quantile(0.50);
+  snap.p90 = quantile(0.90);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramStats(
+    std::string_view name) const {
+  MutexLock lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : SnapshotOf(it->second);
+}
+
+JsonValue MetricsRegistry::SnapshotJson() const {
+  MutexLock lock(mutex_);
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& [name, value] : counters_) {
+    counters.Set(name, JsonValue(static_cast<size_t>(value)));
+  }
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& [name, value] : gauges_) gauges.Set(name, value);
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap = SnapshotOf(h);
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("count", JsonValue(static_cast<size_t>(snap.count)));
+    entry.Set("sum", snap.sum);
+    entry.Set("min", snap.min);
+    entry.Set("max", snap.max);
+    entry.Set("p50", snap.p50);
+    entry.Set("p90", snap.p90);
+    entry.Set("p99", snap.p99);
+    histograms.Set(name, std::move(entry));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace tcm

@@ -1,0 +1,107 @@
+#ifndef TCM_OBS_METRICS_H_
+#define TCM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace tcm {
+
+// Point-in-time summary of one histogram. Quantiles are extracted by the
+// nearest-rank rule over the fixed buckets: the reported quantile is the
+// upper boundary of the bucket in which the cumulative sample count
+// reaches ceil(q * count), clamped to the observed [min, max]. With
+// bucket boundaries at every distinct sample value the extraction is
+// exact (pinned against a sorted-vector oracle in tests/obs_test.cc);
+// otherwise it is exact to one bucket width.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Process-wide registry of named counters, gauges and fixed-bucket
+// histograms — the measurement substrate behind the serve `stats` verb
+// and the README "Observability" metric table. All operations are
+// thread-safe (one tcm::Mutex, visible to clang's thread-safety
+// analysis); names are created on first touch so instrumentation sites
+// never need registration boilerplate. Snapshots serialize through
+// common/json.h with deterministic (sorted-name) ordering.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide instance every subsystem publishes into.
+  static MetricsRegistry& Global();
+
+  // Counters: monotonically increasing uint64 values.
+  void IncrementCounter(std::string_view name, uint64_t delta = 1)
+      TCM_EXCLUDES(mutex_);
+  uint64_t CounterValue(std::string_view name) const TCM_EXCLUDES(mutex_);
+
+  // Gauges: last-write-wins doubles (queue depth, rows/s, ...).
+  void SetGauge(std::string_view name, double value) TCM_EXCLUDES(mutex_);
+  double GaugeValue(std::string_view name) const TCM_EXCLUDES(mutex_);
+
+  // Histograms. A histogram's bucket boundaries are fixed at creation:
+  // the first Observe() on a name creates it with kDefaultLatencyBuckets
+  // (exponential, seconds-scaled); RegisterHistogram() creates it with
+  // caller-chosen boundaries (no-op if the name already exists).
+  // Boundaries must be strictly increasing; sample x lands in the first
+  // bucket with x <= boundary, or the overflow bucket past the last.
+  void RegisterHistogram(std::string_view name,
+                         std::vector<double> boundaries) TCM_EXCLUDES(mutex_);
+  void Observe(std::string_view name, double value) TCM_EXCLUDES(mutex_);
+  HistogramSnapshot HistogramStats(std::string_view name) const
+      TCM_EXCLUDES(mutex_);
+
+  // Whole-registry JSON snapshot:
+  //   {"counters": {name: n, ...},
+  //    "gauges": {name: x, ...},
+  //    "histograms": {name: {count,sum,min,max,p50,p90,p99}, ...}}
+  JsonValue SnapshotJson() const TCM_EXCLUDES(mutex_);
+
+  // Drops every metric (tests; the global registry is never reset by
+  // production code).
+  void Reset() TCM_EXCLUDES(mutex_);
+
+  static const std::vector<double>& DefaultLatencyBuckets();
+
+ private:
+  struct Histogram {
+    std::vector<double> boundaries;       // strictly increasing
+    std::vector<uint64_t> bucket_counts;  // boundaries.size() + 1 (overflow)
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  Histogram& HistogramLocked(std::string_view name,
+                             const std::vector<double>* boundaries)
+      TCM_REQUIRES(mutex_);
+  static HistogramSnapshot SnapshotOf(const Histogram& h);
+
+  mutable Mutex mutex_;
+  std::map<std::string, uint64_t, std::less<>> counters_
+      TCM_GUARDED_BY(mutex_);
+  std::map<std::string, double, std::less<>> gauges_ TCM_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      TCM_GUARDED_BY(mutex_);
+};
+
+}  // namespace tcm
+
+#endif  // TCM_OBS_METRICS_H_

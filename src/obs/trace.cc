@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace tcm {
+namespace {
+
+// Per-thread span-stack depth. Only spans that were active at
+// construction touch it, so the counter stays balanced across
+// enable/disable transitions.
+thread_local int g_span_depth = 0;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+uint64_t TraceRecorder::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+int TraceRecorder::CurrentThreadId() {
+  static std::atomic<int> next_tid{1};
+  thread_local const int tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+void TraceRecorder::Clear() {
+  MutexLock lock(mutex_);
+  events_.clear();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  MutexLock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  MutexLock lock(mutex_);
+  return events_;
+}
+
+size_t TraceRecorder::event_count() const {
+  MutexLock lock(mutex_);
+  return events_.size();
+}
+
+JsonValue TraceRecorder::ChromeTraceJson() const {
+  JsonValue events = JsonValue::MakeArray();
+  {
+    MutexLock lock(mutex_);
+    for (const TraceEvent& e : events_) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("name", e.name);
+      entry.Set("cat", "tcm");
+      entry.Set("ph", "X");
+      entry.Set("ts", JsonValue(static_cast<size_t>(e.ts_us)));
+      entry.Set("dur", JsonValue(static_cast<size_t>(e.dur_us)));
+      entry.Set("pid", 0);
+      entry.Set("tid", e.tid);
+      JsonValue args = JsonValue::MakeObject();
+      args.Set("depth", e.depth);
+      entry.Set("args", std::move(args));
+      events.Append(std::move(entry));
+    }
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("traceEvents", std::move(events));
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteJsonFile(ChromeTraceJson(), path);
+}
+
+TraceSpan::TraceSpan(std::string_view name)
+    : active_(TraceRecorder::Global().enabled()) {
+  if (!active_) return;
+  name_.assign(name);
+  depth_ = g_span_depth++;
+  start_us_ = TraceRecorder::NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  uint64_t end_us = TraceRecorder::NowMicros();
+  --g_span_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.ts_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.tid = TraceRecorder::CurrentThreadId();
+  event.depth = depth_;
+  TraceRecorder::Global().Record(std::move(event));
+}
+
+TraceSink::TraceSink(std::string path) : path_(std::move(path)) {
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+}
+
+TraceSink::~TraceSink() {
+  Status status = Finish();
+  (void)status;
+}
+
+Status TraceSink::Finish() {
+  if (finished_) return Status::Ok();
+  finished_ = true;
+  TraceRecorder::Global().Disable();
+  if (path_.empty()) return Status::Ok();
+  return TraceRecorder::Global().WriteChromeTrace(path_);
+}
+
+}  // namespace tcm

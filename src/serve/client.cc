@@ -97,4 +97,11 @@ Result<JsonValue> ServeClient::SubmitAndWait(JsonValue spec_json) {
   }
 }
 
+Result<JsonValue> ServeClient::Stats() {
+  ServeRequest request;
+  request.verb = ServeVerb::kStats;
+  TCM_RETURN_IF_ERROR(Send(request));
+  return ReadEvent();
+}
+
 }  // namespace tcm

@@ -45,6 +45,10 @@ class ServeClient {
   // failures are the only error Status.
   Result<JsonValue> SubmitAndWait(JsonValue spec_json);
 
+  // Issues the stats verb and returns the server's "stats" event (jobs
+  // by state, queue depth, metrics snapshot) — or its "error" event.
+  Result<JsonValue> Stats();
+
  private:
   explicit ServeClient(LineChannel channel)
       : channel_(std::move(channel)) {}

@@ -7,8 +7,17 @@
 #include "api/report.h"
 #include "api/runner.h"
 #include "common/check.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace tcm {
+namespace {
+
+// The registry has its own lock, acquired strictly after the queue's
+// (never the reverse), so publishing from under mutex_ cannot deadlock.
+MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
+
+}  // namespace
 
 const char* JobStateName(JobState state) {
   switch (state) {
@@ -53,10 +62,12 @@ Result<uint64_t> JobQueue::Submit(JobSpec spec) {
   {
     MutexLock lock(mutex_);
     if (draining_) {
+      Metrics().IncrementCounter("serve.jobs_rejected");
       return Status::FailedPrecondition(
           "server is draining and no longer accepts jobs");
     }
     if (active_ >= max_pending_) {
+      Metrics().IncrementCounter("serve.jobs_rejected");
       return Status::FailedPrecondition(
           "job queue is full (" + std::to_string(active_) + " of " +
           std::to_string(max_pending_) + " slots pending); retry later");
@@ -67,6 +78,9 @@ Result<uint64_t> JobQueue::Submit(JobSpec spec) {
     jobs_.emplace(record->id, record);
     ++active_;
     ++tasks_in_pool_;
+    Metrics().IncrementCounter("serve.jobs_submitted");
+    Metrics().SetGauge("serve.queue_depth",
+                       static_cast<double>(active_ - running_));
   }
   // The future is intentionally dropped: completion is observed through
   // WaitForChange, and a packaged_task future does not block on destroy.
@@ -85,6 +99,10 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
       return;
     }
     record->state = JobState::kRunning;
+    ++running_;
+    Metrics().SetGauge("serve.jobs_running", static_cast<double>(running_));
+    Metrics().SetGauge("serve.queue_depth",
+                       static_cast<double>(active_ - running_));
     // Move, don't copy: a spec can carry a large inline dataset, and a
     // copy here would both stall every queue operation for its duration
     // and stay pinned in jobs_ after the job is done. The record is
@@ -99,6 +117,7 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
   // exception into a future nobody holds — the record would stay
   // kRunning forever and Drain() would never return — so convert to the
   // taxonomy here instead.
+  WallTimer job_timer;
   Result<RunReport> outcome = Status::Internal("unreachable");
   try {
     outcome = RunJob(spec);
@@ -107,6 +126,7 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
   } catch (...) {
     outcome = Status::Internal("job threw a non-standard exception");
   }
+  const double job_seconds = job_timer.ElapsedSeconds();
 
   {
     MutexLock lock(mutex_);
@@ -116,13 +136,26 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
       // the retained document stays small even for large jobs.
       record->report =
           std::make_shared<const JsonValue>(outcome->ToJson());
+      Metrics().IncrementCounter("serve.jobs_succeeded");
+      Metrics().IncrementCounter("serve.rows_processed", outcome->rows);
+      if (job_seconds > 0.0) {
+        Metrics().SetGauge("serve.last_job_rows_per_second",
+                           static_cast<double>(outcome->rows) / job_seconds);
+      }
     } else {
       record->state = JobState::kFailed;
       record->error_code = StatusCodeName(outcome.status().code());
       record->error = outcome.status().message();
+      Metrics().IncrementCounter("serve.jobs_failed");
     }
+    Metrics().Observe("serve.job_latency_seconds", job_seconds);
     TCM_CHECK(active_ > 0) << "job finished with no active count";
     --active_;
+    TCM_CHECK(running_ > 0) << "job finished with no running count";
+    --running_;
+    Metrics().SetGauge("serve.jobs_running", static_cast<double>(running_));
+    Metrics().SetGauge("serve.queue_depth",
+                       static_cast<double>(active_ - running_));
     changed_.NotifyAll();
   }
 }
@@ -151,6 +184,9 @@ Result<JobSnapshot> JobQueue::Cancel(uint64_t job_id) {
     record.spec = JobSpec();
     TCM_CHECK(active_ > 0) << "queued job with no active count";
     --active_;
+    Metrics().IncrementCounter("serve.jobs_cancelled");
+    Metrics().SetGauge("serve.queue_depth",
+                       static_cast<double>(active_ - running_));
     changed_.NotifyAll();
   }
   return SnapshotLocked(record);
@@ -176,6 +212,31 @@ size_t JobQueue::pending() const {
 size_t JobQueue::total_jobs() const {
   MutexLock lock(mutex_);
   return jobs_.size();
+}
+
+JobStateCounts JobQueue::StateCounts() const {
+  MutexLock lock(mutex_);
+  JobStateCounts counts;
+  for (const auto& entry : jobs_) {
+    switch (entry.second->state) {
+      case JobState::kQueued:
+        ++counts.queued;
+        break;
+      case JobState::kRunning:
+        ++counts.running;
+        break;
+      case JobState::kSucceeded:
+        ++counts.succeeded;
+        break;
+      case JobState::kFailed:
+        ++counts.failed;
+        break;
+      case JobState::kCancelled:
+        ++counts.cancelled;
+        break;
+    }
+  }
+  return counts;
 }
 
 void JobQueue::CloseSubmissions() {

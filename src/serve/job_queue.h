@@ -42,6 +42,17 @@ struct JobSnapshot {
   std::shared_ptr<const JsonValue> report;
 };
 
+// Jobs-by-state tally over every job the queue has ever seen — the
+// "jobs" object of the serve stats event. Taken atomically, so the five
+// fields sum to the total submission count.
+struct JobStateCounts {
+  size_t queued = 0;
+  size_t running = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  size_t cancelled = 0;
+};
+
 // Bounded in-process job queue over a shared ThreadPool: the execution
 // core of the tcm_serve daemon, usable on its own by embedders. Submit
 // assigns a monotonically increasing job id and hands the JobSpec to the
@@ -53,6 +64,13 @@ struct JobSnapshot {
 // buffering without limit. Completed jobs are kept for status queries
 // for the lifetime of the queue (bounded-retention eviction is a listed
 // follow-on in ROADMAP.md).
+//
+// Observability: every transition publishes into
+// MetricsRegistry::Global() under the serve.* names (jobs_submitted /
+// jobs_rejected / jobs_succeeded / jobs_failed / jobs_cancelled
+// counters, queue_depth and jobs_running gauges, rows_processed counter,
+// job_latency_seconds histogram) — the payload behind the daemon's
+// `stats` verb.
 //
 // Thread safety: every method may be called from any thread. The pool
 // must outlive the queue and must not be Shutdown() before Drain()
@@ -95,6 +113,9 @@ class JobQueue {
 
   // Jobs ever submitted (any state).
   size_t total_jobs() const TCM_EXCLUDES(mutex_);
+
+  // One consistent jobs-by-state tally (stats verb payload).
+  JobStateCounts StateCounts() const TCM_EXCLUDES(mutex_);
 
   // Rejects all further Submits from this point on without blocking:
   // the instant half of shutdown, safe to call from a connection
@@ -140,6 +161,7 @@ class JobQueue {
   // worker pops it — Drain() must outlast that task too, or destroying
   // the queue after Drain() would leave the task dangling.
   size_t tasks_in_pool_ TCM_GUARDED_BY(mutex_) = 0;
+  size_t running_ TCM_GUARDED_BY(mutex_) = 0;
   std::map<uint64_t, std::shared_ptr<Record>> jobs_ TCM_GUARDED_BY(mutex_);
 };
 

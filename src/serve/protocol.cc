@@ -16,9 +16,10 @@ Result<ServeVerb> VerbFromName(const std::string& name) {
   if (name == "cancel") return ServeVerb::kCancel;
   if (name == "shutdown") return ServeVerb::kShutdown;
   if (name == "ping") return ServeVerb::kPing;
+  if (name == "stats") return ServeVerb::kStats;
   return Status::InvalidArgument(
       "unknown verb \"" + name +
-      "\" (expected submit, status, cancel, shutdown or ping)");
+      "\" (expected submit, status, cancel, shutdown, ping or stats)");
 }
 
 JsonValue MakeEvent(const char* event, const std::optional<uint64_t>& id) {
@@ -42,6 +43,8 @@ const char* ServeVerbName(ServeVerb verb) {
       return "shutdown";
     case ServeVerb::kPing:
       return "ping";
+    case ServeVerb::kStats:
+      return "stats";
   }
   return "unknown";
 }
@@ -168,6 +171,24 @@ JsonValue MakePongEvent(const std::optional<uint64_t>& id, size_t pending,
   event.Set("protocol", kServeProtocolVersion);
   event.Set("pending", pending);
   event.Set("jobs", total_jobs);
+  return event;
+}
+
+JsonValue MakeStatsEvent(const std::optional<uint64_t>& id,
+                         const JobStateCounts& counts, size_t queue_depth,
+                         JsonValue metrics) {
+  JsonValue event = MakeEvent("stats", id);
+  event.Set("protocol", kServeProtocolVersion);
+  event.Set("stats_schema", kStatsSchemaVersion);
+  JsonValue jobs = JsonValue::MakeObject();
+  jobs.Set(JobStateName(JobState::kQueued), counts.queued);
+  jobs.Set(JobStateName(JobState::kRunning), counts.running);
+  jobs.Set(JobStateName(JobState::kSucceeded), counts.succeeded);
+  jobs.Set(JobStateName(JobState::kFailed), counts.failed);
+  jobs.Set(JobStateName(JobState::kCancelled), counts.cancelled);
+  event.Set("jobs", std::move(jobs));
+  event.Set("queue_depth", queue_depth);
+  event.Set("metrics", std::move(metrics));
   return event;
 }
 

@@ -28,15 +28,21 @@ namespace tcm {
 //   cancel   {"verb":"cancel","job":N[,"id":N]}
 //   shutdown {"verb":"shutdown"[,"id":N]}   graceful drain, then exit
 //   ping     {"verb":"ping"[,"id":N]}
+//   stats    {"verb":"stats"[,"id":N]}      live observability snapshot
 //
 // Events (every one carries "event"; "id" echoes the request's id when
 // it had one):
-//   hello    {"event":"hello","protocol":1,"max_pending":N}
+//   hello    {"event":"hello","protocol":2,"max_pending":N}
 //   error    {"event":"error","code":"InvalidSpec","message":...}
 //   accepted {"event":"accepted","job":N,"state":"queued","pending":P}
 //   state    {"event":"state","job":N,"state":...}; terminal states add
 //            "report" (succeeded) or "code"/"message" (failed)
-//   pong     {"event":"pong","protocol":1,"pending":P,"jobs":J}
+//   pong     {"event":"pong","protocol":2,"pending":P,"jobs":J}
+//   stats    {"event":"stats","protocol":2,"stats_schema":1,
+//             "jobs":{"queued":N,...per state...},"queue_depth":D,
+//             "metrics":{"counters":{},"gauges":{},"histograms":{}}}
+//            (the daemon's MetricsRegistry snapshot; histograms carry
+//            count/sum/min/max and exact nearest-rank p50/p90/p99)
 //   draining {"event":"draining"}
 //
 // A waited submit streams accepted, then one state event per observed
@@ -47,8 +53,13 @@ namespace tcm {
 
 // Version of the framing described above. Bumped on incompatible
 // changes; the JobSpec payload is versioned separately by its own
-// "version" key.
-inline constexpr int kServeProtocolVersion = 1;
+// "version" key. Version 2 added the "stats" verb and event.
+inline constexpr int kServeProtocolVersion = 2;
+
+// Version of the stats event's payload shape (the "jobs" / "queue_depth"
+// / "metrics" keys above). Bumped independently of the framing version
+// when the snapshot layout changes; clients branch on "stats_schema".
+inline constexpr int kStatsSchemaVersion = 1;
 
 // Hard ceiling on one protocol line (either direction). Far above any
 // real JobSpec or RunReport, it exists so a peer streaming bytes with
@@ -56,7 +67,7 @@ inline constexpr int kServeProtocolVersion = 1;
 // of the process's memory.
 inline constexpr size_t kMaxLineBytes = 16u << 20;  // 16 MiB
 
-enum class ServeVerb { kSubmit, kStatus, kCancel, kShutdown, kPing };
+enum class ServeVerb { kSubmit, kStatus, kCancel, kShutdown, kPing, kStats };
 
 const char* ServeVerbName(ServeVerb verb);
 
@@ -87,6 +98,11 @@ JsonValue MakeStateEvent(const std::optional<uint64_t>& id,
                          const JobSnapshot& snapshot);
 JsonValue MakePongEvent(const std::optional<uint64_t>& id, size_t pending,
                         size_t total_jobs);
+// `counts` is the queue's jobs-by-state tally; `metrics` the
+// MetricsRegistry snapshot (SnapshotJson()), moved into the event.
+JsonValue MakeStatsEvent(const std::optional<uint64_t>& id,
+                         const JobStateCounts& counts, size_t queue_depth,
+                         JsonValue metrics);
 JsonValue MakeDrainingEvent(const std::optional<uint64_t>& id);
 
 // ---------------------------------------------------------------------------

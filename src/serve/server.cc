@@ -11,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace tcm {
 
 JobServer::JobServer(ServeOptions options) : options_(std::move(options)) {
@@ -229,6 +231,15 @@ bool JobServer::HandleRequest(LineChannel* channel,
                                     queue_->total_jobs())
                           .Write(-1))
           .ok();
+
+    case ServeVerb::kStats: {
+      JobStateCounts counts = queue_->StateCounts();
+      return channel
+          ->WriteLine(MakeStatsEvent(request.id, counts, counts.queued,
+                                     MetricsRegistry::Global().SnapshotJson())
+                          .Write(-1))
+          .ok();
+    }
 
     case ServeVerb::kStatus: {
       auto snapshot = queue_->Status(*request.job);

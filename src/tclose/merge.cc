@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace tcm {
 namespace {
@@ -85,6 +86,13 @@ Result<Partition> MergeUntilTCloseMulti(
       }
     }
     if (worst == live.size()) break;  // every cluster is t-close
+
+    // One span per merge round: the sequential tail that caps thread
+    // scaling (832 rounds on the 1M-row bench) shows up in traces as
+    // individually measurable slices, and span count equals
+    // MergeStats::merges. Costs one relaxed atomic load per round when
+    // tracing is off.
+    TraceSpan round_span("merge_round");
 
     // Nearest alive cluster in QI centroid distance.
     size_t partner = live.size();

@@ -32,6 +32,9 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/record_source.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/job_queue.h"
 #include "serve/protocol.h"

@@ -539,6 +539,132 @@ TEST(ServeCancelTest, CancelWinsOnQueuedJobsOnly) {
   EXPECT_EQ(EventState(*too_late), "succeeded") << too_late->Write(2);
 }
 
+// ----- the stats verb (protocol v2 observability) -------------------------
+
+JsonValue QueryStats(ServeClient* client) {
+  auto event = client->Stats();
+  EXPECT_TRUE(event.ok()) << event.status().ToString();
+  return std::move(event).value();
+}
+
+uint64_t JobsCount(const JsonValue& stats, const char* state) {
+  const JsonValue* jobs = stats.Find("jobs");
+  EXPECT_NE(jobs, nullptr);
+  if (jobs == nullptr) return 0;
+  const JsonValue* value = jobs->Find(state);
+  EXPECT_NE(value, nullptr) << state;
+  return value != nullptr ? value->GetUint().value_or(0) : 0;
+}
+
+// A fresh daemon answers stats with the documented shape: pinned
+// protocol + stats_schema versions, all five job states at zero, zero
+// queue depth, and the three metric families.
+TEST(ServeStatsTest, StatsEventShapeAndVersionPins) {
+  ServeOptions options;
+  options.threads = 1;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = ConnectOrDie(server);
+
+  JsonValue stats = QueryStats(&client);
+  EXPECT_EQ(EventName(stats), "stats") << stats.Write(2);
+  EXPECT_EQ(stats.Find("protocol")->GetUint().value(),
+            static_cast<uint64_t>(kServeProtocolVersion));
+  EXPECT_EQ(stats.Find("stats_schema")->GetUint().value(),
+            static_cast<uint64_t>(kStatsSchemaVersion));
+  for (const char* state :
+       {"queued", "running", "succeeded", "failed", "cancelled"}) {
+    EXPECT_EQ(JobsCount(stats, state), 0u) << state;
+  }
+  EXPECT_EQ(stats.Find("queue_depth")->GetUint().value(), 0u);
+  const JsonValue* metrics = stats.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const char* family : {"counters", "gauges", "histograms"}) {
+    EXPECT_NE(metrics->Find(family), nullptr) << family;
+  }
+}
+
+// After one succeeded and one failed job, the per-daemon state counts
+// are exact, and the process-wide job-latency histogram has grown and
+// reports ordered, populated quantiles. (The metrics registry is global
+// across all suites in this binary, so metric assertions are deltas.)
+TEST(ServeStatsTest, StatsCountsJobsAndLatencyQuantiles) {
+  const uint64_t latency_before =
+      MetricsRegistry::Global()
+          .HistogramStats("serve.job_latency_seconds")
+          .count;
+
+  ServeOptions options;
+  options.threads = 1;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = ConnectOrDie(server);
+
+  auto terminal = client.SubmitAndWait(UniformSpec(/*seed=*/7,
+                                                   /*rows=*/200)
+                                           .ToJson());
+  ASSERT_TRUE(terminal.ok()) << terminal.status().ToString();
+  ASSERT_EQ(EventState(*terminal), "succeeded") << terminal->Write(2);
+
+  JobSpec io_spec;
+  io_spec.input.kind = InputKind::kCsvPath;
+  io_spec.input.path = "/nonexistent/tcm_stats_input.csv";
+  io_spec.roles.quasi_identifiers = {"a"};
+  io_spec.roles.confidential = "b";
+  terminal = client.SubmitAndWait(io_spec.ToJson());
+  ASSERT_TRUE(terminal.ok()) << terminal.status().ToString();
+  ASSERT_EQ(EventState(*terminal), "failed");
+
+  JsonValue stats = QueryStats(&client);
+  EXPECT_EQ(JobsCount(stats, "succeeded"), 1u) << stats.Write(2);
+  EXPECT_EQ(JobsCount(stats, "failed"), 1u);
+  EXPECT_EQ(JobsCount(stats, "queued"), 0u);
+  EXPECT_EQ(JobsCount(stats, "running"), 0u);
+  EXPECT_EQ(stats.Find("queue_depth")->GetUint().value(), 0u);
+
+  const JsonValue* histogram = stats.Find("metrics")
+                                   ->Find("histograms")
+                                   ->Find("serve.job_latency_seconds");
+  ASSERT_NE(histogram, nullptr) << stats.Write(2);
+  EXPECT_GE(histogram->Find("count")->GetUint().value(),
+            latency_before + 2);
+  const double p50 = histogram->Find("p50")->number_value();
+  const double p99 = histogram->Find("p99")->number_value();
+  EXPECT_GE(p50, 0.0);
+  EXPECT_GE(p99, p50);
+}
+
+// queue_depth counts jobs that are queued but not yet running: with a
+// single worker pinned by a slow job, a second submission shows up in
+// the depth, and a drained daemon reports zero again.
+TEST(ServeStatsTest, QueueDepthTracksQueuedJobs) {
+  ServeOptions options;
+  options.threads = 1;
+  options.max_pending = 4;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = ConnectOrDie(server);
+
+  const uint64_t job1 = EventJob(SubmitNoWait(&client, SlowSpec()));
+  const uint64_t job2 = EventJob(SubmitNoWait(&client, SlowSpec()));
+  ASSERT_NE(job1, 0u);
+  ASSERT_NE(job2, 0u);
+
+  JsonValue stats = QueryStats(&client);
+  EXPECT_EQ(JobsCount(stats, "queued") + JobsCount(stats, "running"), 2u)
+      << stats.Write(2);
+  EXPECT_EQ(stats.Find("queue_depth")->GetUint().value(),
+            JobsCount(stats, "queued"));
+
+  ASSERT_TRUE(WaitUntil([&]() {
+    return EventState(QueryStatus(&client, job2)) == "succeeded";
+  }));
+  stats = QueryStats(&client);
+  EXPECT_EQ(JobsCount(stats, "succeeded"), 2u) << stats.Write(2);
+  EXPECT_EQ(JobsCount(stats, "queued"), 0u);
+  EXPECT_EQ(stats.Find("queue_depth")->GetUint().value(), 0u);
+}
+
 // Graceful drain: a shutdown requested mid-job still runs the job to
 // completion and delivers its final event; new submissions and new
 // connections are refused.

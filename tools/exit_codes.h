@@ -2,7 +2,8 @@
 #define TCM_TOOLS_EXIT_CODES_H_
 
 // The documented CLI exit-code contract shared by tcm_anonymize,
-// tcm_serve, tcm_submit and tcm_lint (README "Exit codes"), pinned end
+// tcm_profile, tcm_serve, tcm_submit and tcm_lint (README "Exit
+// codes"), pinned end
 // to end by tools/exit_codes.cmake, tools/serve_smoke.sh and
 // tools/lint_check.cmake. Scripts branch on these numbers the way
 // in-process callers branch on StatusCode: the four public taxonomy

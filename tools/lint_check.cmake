@@ -105,6 +105,39 @@ execute_process(
   ERROR_VARIABLE output)
 expect_exit("drifted exit-code table" 3 "${result}" "${output}")
 
+# A README whose "protocol":N literal disagrees with
+# kServeProtocolVersion fails the version-pin check.
+set(PROTO_TREE "${WORK_DIR}/proto_tree")
+file(MAKE_DIRECTORY "${PROTO_TREE}/tests/golden")
+string(REPLACE "\"protocol\":2" "\"protocol\":9"
+  readme_proto "${readme}")
+if(readme_proto STREQUAL readme)
+  message(FATAL_ERROR "protocol drift setup: no \"protocol\":2 in README")
+endif()
+file(WRITE "${PROTO_TREE}/README.md" "${readme_proto}")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${PROTO_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("drifted protocol pin" 3 "${result}" "${output}")
+
+# Same for the stats event's "stats_schema":N vs kStatsSchemaVersion.
+set(STATS_TREE "${WORK_DIR}/stats_tree")
+file(MAKE_DIRECTORY "${STATS_TREE}/tests/golden")
+string(REPLACE "\"stats_schema\":1" "\"stats_schema\":9"
+  readme_stats "${readme}")
+if(readme_stats STREQUAL readme)
+  message(FATAL_ERROR "stats drift setup: no \"stats_schema\":1 in README")
+endif()
+file(WRITE "${STATS_TREE}/README.md" "${readme_stats}")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${STATS_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("drifted stats-schema pin" 3 "${result}" "${output}")
+
 # --- 6. IO and usage errors keep their contract codes. ---------------------
 execute_process(
   COMMAND ${TCM_LINT} --spec ${WORK_DIR}/definitely_missing.json
@@ -120,5 +153,5 @@ execute_process(
   ERROR_VARIABLE output)
 expect_exit("usage error" 2 "${result}" "${output}")
 
-message(STATUS "tcm_lint contract holds: clean tree 0, bad artifacts 3, "
-  "missing file 5, usage 2")
+message(STATUS "tcm_lint contract holds: clean tree 0, bad artifacts "
+  "and drifted docs/version pins 3, missing file 5, usage 2")

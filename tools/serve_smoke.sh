@@ -3,8 +3,10 @@
 # port, drives it with the tcm_submit client, and pins
 #   1. the served golden job's release bytes against the committed pin,
 #   2. the over-the-wire report (timing-normalized) against the pin,
-#   3. wire error codes mapping to the documented tcm_submit exit codes,
-#   4. a graceful drain: the shutdown verb ends the daemon with exit 0.
+#   3. the stats verb: a live observability snapshot counting the golden
+#      job as succeeded with a populated job-latency histogram,
+#   4. wire error codes mapping to the documented tcm_submit exit codes,
+#   5. a graceful drain: the shutdown verb ends the daemon with exit 0.
 # Registered as ctest `tools.serve_smoke` and run standalone by the CI
 # serve-smoke job.
 #
@@ -64,7 +66,18 @@ sed -E -e 's/"([a-z_]*_seconds)": [-+.eE0-9]+/"\1": 0/g' \
 diff -u "$GOLDEN/report_tclose_first.json" "$WORK/report_norm.json" \
   || fail "served report (timing-normalized) drifted from the pin"
 
-# 3: taxonomy errors over the wire become the documented exit codes.
+# 3: live observability — the stats verb must count the golden job as
+# succeeded and carry non-empty latency quantiles.
+"$SUBMIT" --port "$PORT" --stats >"$WORK/stats.json" \
+  || fail "stats verb failed"
+grep -q '"event": "stats"' "$WORK/stats.json" || fail "no stats event"
+grep -q '"succeeded": 1' "$WORK/stats.json" \
+  || fail "stats does not count the golden job as succeeded"
+grep -q '"serve.job_latency_seconds"' "$WORK/stats.json" \
+  || fail "stats missing the job-latency histogram"
+grep -q '"p99":' "$WORK/stats.json" || fail "stats missing p99 quantile"
+
+# 4: taxonomy errors over the wire become the documented exit codes.
 cat >"$WORK/invalid_spec.json" <<'EOF'
 {"version": 1, "input": {"kind": "synthetic"}, "algorithm": {"k": 0}}
 EOF
@@ -89,7 +102,7 @@ EOF
     >>"$WORK/events.ndjson"
 [ $? -eq 5 ] || fail "IoError over the wire should exit 5"
 
-# 4: graceful drain via the shutdown verb; the daemon must exit 0.
+# 5: graceful drain via the shutdown verb; the daemon must exit 0.
 "$SUBMIT" --port "$PORT" --shutdown >>"$WORK/events.ndjson" \
   || fail "shutdown verb failed"
 wait "$SERVE_PID"
@@ -104,5 +117,5 @@ grep -q "drained, exiting" "$WORK/serve.log" \
 [ $? -eq 5 ] || fail "connecting to a dead daemon should exit 5"
 
 echo "serve_smoke OK: golden release + report served byte-identically,"
-echo "wire error codes and graceful drain as documented"
+echo "live stats, wire error codes and graceful drain as documented"
 exit 0

@@ -6,7 +6,7 @@
 //       --qi age,zipcode --confidential salary
 //       --k 5 --t 0.1 [--algorithm NAME] [--threads N] [--shard-size N]
 //       [--seed N] [--stream] [--max-resident-rows N] [--report]
-//       [--report-json FILE] [--list-algorithms]
+//       [--report-json FILE] [--trace-out FILE] [--list-algorithms]
 //
 // --job loads a versioned JobSpec from JSON (schema documented in
 // README.md); every other flag is sugar that overrides the corresponding
@@ -16,7 +16,10 @@
 // become quasi-identifiers and --confidential drives t-closeness.
 // --algorithm takes any registry name (see --list-algorithms), --stream
 // switches to the bounded-memory out-of-core engine, and --report-json
-// writes the machine-readable RunReport. The release is byte-identical
+// writes the machine-readable RunReport. --trace-out records one
+// Chrome trace-event JSON file of the run's stage spans (load, shard,
+// per-shard anonymize, each MergeUntilTClose round, verify, write) —
+// open it in chrome://tracing or https://ui.perfetto.dev. The release is byte-identical
 // for any thread count. Exit code 0 only when the release was produced
 // AND re-verified (sweep specs are the exception: they measure cells
 // without producing or verifying a release); failures print a
@@ -53,7 +56,7 @@ constexpr char kUsage[] =
     "                     [--threads N] [--shard-size N] [--seed N]\n"
     "                     [--stream] [--max-resident-rows N]\n"
     "                     [--report] [--report-json FILE]\n"
-    "                     [--list-algorithms]\n"
+    "                     [--trace-out FILE] [--list-algorithms]\n"
     "       tcm_anonymize --audit FILE --qi A,B,... --confidential C\n"
     "                     --k N --t X\n";
 
@@ -162,6 +165,7 @@ void PrintSweep(const tcm::RunReport& report) {
 
 int main(int argc, char** argv) {
   std::string job_path, input, output, confidential, algorithm, report_json;
+  std::string trace_out;
   std::string audit_path;
   std::vector<std::string> qi;
   size_t k = 0, threads = 0, shard_size = 0, max_resident_rows = 0;
@@ -186,6 +190,7 @@ int main(int argc, char** argv) {
   parser.AddSize("--max-resident-rows", &max_resident_rows);
   parser.AddFlag("--report", &report_flag);
   parser.AddString("--report-json", &report_json);
+  parser.AddString("--trace-out", &trace_out);
   parser.AddFlag("--list-algorithms", &list_algorithms);
   if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
 
@@ -202,7 +207,7 @@ int main(int argc, char** argv) {
     for (const char* flag :
          {"--job", "--input", "--output", "--algorithm", "--threads",
           "--shard-size", "--seed", "--stream", "--max-resident-rows",
-          "--report", "--report-json"}) {
+          "--report", "--report-json", "--trace-out"}) {
       if (parser.Seen(flag)) {
         std::fprintf(stderr, "%s does not apply to --audit mode\n%s", flag,
                      kUsage);
@@ -237,6 +242,7 @@ int main(int argc, char** argv) {
   }
   if (parser.Seen("--output")) spec.output.release_path = output;
   if (parser.Seen("--report-json")) spec.output.report_path = report_json;
+  if (parser.Seen("--trace-out")) spec.output.trace_path = trace_out;
   if (parser.Seen("--qi")) spec.roles.quasi_identifiers = qi;
   if (parser.Seen("--confidential")) spec.roles.confidential = confidential;
   if (parser.Seen("--algorithm")) spec.algorithm.name = algorithm;

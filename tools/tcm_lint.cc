@@ -14,10 +14,11 @@
 //      code by code, with tools/exit_codes.h (this binary includes the
 //      header, so the constants cannot drift from the check).
 //
-//   3. Version pins. JobSpec::kVersion, RunReport::kVersion and
-//      kServeProtocolVersion must be consistent everywhere they are
-//      spelled: golden documents' "version" keys, the README schema
-//      heading, and every `"protocol":N` in docs and protocol sources.
+//   3. Version pins. JobSpec::kVersion, RunReport::kVersion,
+//      kServeProtocolVersion and kStatsSchemaVersion must be consistent
+//      everywhere they are spelled: golden documents' "version" keys,
+//      the README schema heading, and every `"protocol":N` /
+//      `"stats_schema":N` in docs and protocol sources.
 //
 // Exit codes follow the shared contract (tools/exit_codes.h): 0 clean,
 // 2 usage error, 3 (InvalidSpec) for any failed artifact or consistency
@@ -342,6 +343,39 @@ void CheckProtocolVersionPins(const std::string& path,
   }
 }
 
+// Same discipline for the stats event's payload version: every literal
+// `"stats_schema":N` in docs and protocol sources must spell
+// kStatsSchemaVersion.
+void CheckStatsSchemaPins(const std::string& path, LintReport* report) {
+  auto text = ReadFile(path);
+  if (!text) {
+    report->IoFail(path, "cannot read file");
+    return;
+  }
+  const std::string needle = "\"stats_schema\":";
+  bool ok = true;
+  int occurrences = 0;
+  for (size_t pos = text->find(needle); pos != std::string::npos;
+       pos = text->find(needle, pos + 1)) {
+    size_t value = pos + needle.size();
+    while (value < text->size() && (*text)[value] == ' ') ++value;
+    char* end = nullptr;
+    long version = std::strtol(text->c_str() + value, &end, 10);
+    if (end == text->c_str() + value) continue;  // not a literal number
+    ++occurrences;
+    if (version != kStatsSchemaVersion) {
+      report->Fail(path, "\"stats_schema\":" + std::to_string(version) +
+                             " disagrees with kStatsSchemaVersion (" +
+                             std::to_string(kStatsSchemaVersion) + ")");
+      ok = false;
+    }
+  }
+  if (ok) {
+    report->Pass(path + " (stats schema, " + std::to_string(occurrences) +
+                 " pins)");
+  }
+}
+
 void CheckReadmeSchemaVersion(const std::string& readme_path,
                               LintReport* report) {
   auto text = ReadFile(readme_path);
@@ -399,11 +433,13 @@ int Run(int argc, char** argv) {
     CheckExitCodeTable(readme, &report);
     CheckReadmeSchemaVersion(readme, &report);
     CheckProtocolVersionPins(readme, &report);
+    CheckStatsSchemaPins(readme, &report);
     const std::string protocol_header =
         (base / "src" / "serve" / "protocol.h").string();
     if (std::filesystem::exists(protocol_header)) {
       CheckDocSnippets(protocol_header, &report);
       CheckProtocolVersionPins(protocol_header, &report);
+      CheckStatsSchemaPins(protocol_header, &report);
     }
   }
 

@@ -15,6 +15,7 @@
 
 #include "arg_parser.h"
 #include "data/csv.h"
+#include "exit_codes.h"
 #include "data/summary.h"
 #include "distance/emd_bounds.h"
 
@@ -37,17 +38,17 @@ int main(int argc, char** argv) {
   parser.AddString("--confidential", &confidential);
   parser.AddString("--histogram", &histogram_col);
   parser.AddSize("--bins", &bins);
-  if (!parser.Parse(argc, argv)) return 2;
+  if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
   if (input.empty()) {
     std::fprintf(stderr, "--input is required\n%s", kUsage);
-    return 2;
+    return tcm::tools::kExitUsage;
   }
 
   auto loaded = tcm::ReadNumericCsv(input);
   if (!loaded.ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", input.c_str(),
                  loaded.status().ToString().c_str());
-    return 1;
+    return tcm::tools::ExitCodeForStatus(loaded.status());
   }
 
   tcm::Schema schema = loaded->schema();
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
         schema.WithRole(name, tcm::AttributeRole::kQuasiIdentifier);
     if (!updated.ok()) {
       std::fprintf(stderr, "--qi: %s\n", updated.status().ToString().c_str());
-      return 1;
+      return tcm::tools::ExitCodeForStatus(updated.status());
     }
     schema = std::move(updated).value();
   }
@@ -66,19 +67,19 @@ int main(int argc, char** argv) {
     if (!updated.ok()) {
       std::fprintf(stderr, "--confidential: %s\n",
                    updated.status().ToString().c_str());
-      return 1;
+      return tcm::tools::ExitCodeForStatus(updated.status());
     }
     schema = std::move(updated).value();
   }
   if (auto status = loaded->ReplaceSchema(schema); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    return tcm::tools::ExitCodeForStatus(status);
   }
 
   auto summary = tcm::SummarizeDataset(*loaded);
   if (!summary.ok()) {
     std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
-    return 1;
+    return tcm::tools::ExitCodeForStatus(summary.status());
   }
   std::printf("%s", tcm::FormatSummary(*summary).c_str());
 
@@ -99,12 +100,12 @@ int main(int argc, char** argv) {
     if (!index.ok()) {
       std::fprintf(stderr, "--histogram: %s\n",
                    index.status().ToString().c_str());
-      return 1;
+      return tcm::tools::ExitCodeForStatus(index.status());
     }
     auto histogram = tcm::ColumnHistogram(*loaded, *index, bins);
     if (!histogram.ok()) {
       std::fprintf(stderr, "%s\n", histogram.status().ToString().c_str());
-      return 1;
+      return tcm::tools::ExitCodeForStatus(histogram.status());
     }
     std::printf("\nhistogram of %s (%zu bins):\n", histogram_col.c_str(),
                 bins);
@@ -116,5 +117,5 @@ int main(int argc, char** argv) {
                   std::string(width, '#').c_str(), (*histogram)[b]);
     }
   }
-  return 0;
+  return tcm::tools::kExitOk;
 }

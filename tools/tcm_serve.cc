@@ -4,12 +4,20 @@
 //
 //   tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]
 //             [--threads N] [--max-pending N] [--no-remote-shutdown]
+//             [--log-level LEVEL]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // logged to stderr and, with --port-file, written as a single line to
 // FILE once the daemon is accepting — scripts poll that file instead of
 // racing the bind. Jobs execute on a shared thread pool (--threads)
 // behind a bounded queue (--max-pending, backpressure for clients).
+//
+// The daemon speaks structured key=value log lines on stderr (obs/log.h)
+// at level info by default — unlike the one-shot tools, which stay
+// silent unless TCM_LOG is set. --log-level debug|info|warn|error|off
+// overrides both the default and the environment. Live metrics (jobs by
+// state, queue depth, job-latency quantiles) are served over the wire by
+// the "stats" verb: `tcm_submit --port N --stats`.
 //
 // Shutdown is always a graceful drain: SIGTERM, SIGINT or a client's
 // "shutdown" verb (disable with --no-remote-shutdown) stop new
@@ -22,6 +30,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -34,7 +43,8 @@ namespace {
 constexpr char kUsage[] =
     "usage: tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]\n"
     "                 [--threads N] [--max-pending N]\n"
-    "                 [--no-remote-shutdown]\n";
+    "                 [--no-remote-shutdown]\n"
+    "                 [--log-level debug|info|warn|error|off]\n";
 
 // Self-pipe: the handler only writes a byte (async-signal-safe); a
 // watcher thread turns it into the orderly RequestShutdown call.
@@ -51,7 +61,7 @@ void HandleSignal(int) {
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
-  std::string port_file;
+  std::string port_file, log_level;
   size_t port = 0, threads = 0, max_pending = 64;
   bool no_remote_shutdown = false;
 
@@ -62,10 +72,24 @@ int main(int argc, char** argv) {
   parser.AddSize("--threads", &threads);
   parser.AddSize("--max-pending", &max_pending);
   parser.AddFlag("--no-remote-shutdown", &no_remote_shutdown);
+  parser.AddString("--log-level", &log_level);
   if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
   if (port > 65535) {
     std::fprintf(stderr, "--port must be in [0, 65535]\n%s", kUsage);
     return tcm::tools::kExitUsage;
+  }
+  if (parser.Seen("--log-level")) {
+    tcm::LogLevel level = tcm::LogLevel::kInfo;
+    if (!tcm::ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr, "unknown --log-level \"%s\"\n%s",
+                   log_level.c_str(), kUsage);
+      return tcm::tools::kExitUsage;
+    }
+    tcm::Logger::Global().SetLevel(level);
+  } else if (std::getenv("TCM_LOG") == nullptr) {
+    // A daemon that says nothing is undebuggable: default to info unless
+    // the environment asked for something else explicitly.
+    tcm::Logger::Global().SetLevel(tcm::LogLevel::kInfo);
   }
 
   tcm::ServeOptions options;
@@ -81,8 +105,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return tcm::tools::ExitCodeForStatus(started);
   }
-  std::fprintf(stderr, "tcm_serve listening on %s:%u (pid %ld)\n",
-               host.c_str(), server.port(), static_cast<long>(::getpid()));
+  TCM_LOG(kInfo)
+      .Msg("tcm_serve listening")
+      .Kv("host", host)
+      .Kv("port", static_cast<unsigned int>(server.port()))
+      .Kv("pid", static_cast<long>(::getpid()))
+      .Kv("threads", threads)
+      .Kv("max_pending", max_pending);
 
   if (!port_file.empty()) {
     std::FILE* out = std::fopen(port_file.c_str(), "w");
@@ -120,6 +149,6 @@ int main(int argc, char** argv) {
   HandleSignal(0);
   watcher.join();
 
-  std::fprintf(stderr, "tcm_serve drained, exiting\n");
+  TCM_LOG(kInfo).Msg("tcm_serve drained, exiting");
   return tcm::tools::kExitOk;
 }

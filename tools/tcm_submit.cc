@@ -6,6 +6,7 @@
 //   tcm_submit --port N --cancel ID
 //   tcm_submit --port N --shutdown
 //   tcm_submit --port N --ping
+//   tcm_submit --port N --stats
 //
 // --job submits the JobSpec JSON as-is: the file is checked to be JSON
 // but NOT validated client side, so spec errors come back over the wire
@@ -19,6 +20,9 @@
 // final RunReport into FILE (pretty-printed, like --report-json writes
 // it). --no-wait returns right after the job is accepted: poll with
 // --status, stop with --cancel, and drain the daemon with --shutdown.
+// --stats prints the daemon's live observability snapshot (jobs by
+// state, queue depth, serve.* metrics with latency quantiles) as one
+// pretty-printed JSON document.
 
 #include <cstdio>
 #include <string>
@@ -34,7 +38,8 @@ constexpr char kUsage[] =
     "                  (--job FILE [--no-wait] [--output FILE]\n"
     "                   [--report-json FILE] [--save-report FILE]\n"
     "                   | --status ID | --cancel ID | --shutdown |"
-    " --ping)\n";
+    " --ping\n"
+    "                   | --stats)\n";
 
 void PrintEvent(const tcm::JsonValue& event) {
   std::printf("%s\n", event.Write(-1).c_str());
@@ -166,6 +171,23 @@ int RunSimpleVerb(tcm::ServeClient* client, tcm::ServeRequest request) {
   return tcm::tools::kExitOk;
 }
 
+// stats: one request, the snapshot pretty-printed — the one verb whose
+// reply is meant for human eyes (and scripts via the JSON keys).
+int RunStats(tcm::ServeClient* client) {
+  auto event = client->Stats();
+  if (!event.ok()) {
+    std::fprintf(stderr, "%s\n", event.status().ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(event.status());
+  }
+  std::printf("%s\n", event->Write(2).c_str());
+  const tcm::JsonValue* name = event->Find("event");
+  if (name != nullptr && name->is_string() &&
+      name->string_value() == "error") {
+    return ExitCodeForEvent(*event);
+  }
+  return tcm::tools::kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,6 +195,7 @@ int main(int argc, char** argv) {
   std::string job_path, output, report_json, save_report;
   size_t port = 0, status_id = 0, cancel_id = 0;
   bool no_wait = false, do_shutdown = false, do_ping = false;
+  bool do_stats = false;
 
   tcm::tools::ArgParser parser(kUsage);
   parser.AddString("--host", &host);
@@ -186,12 +209,14 @@ int main(int argc, char** argv) {
   parser.AddSize("--cancel", &cancel_id);
   parser.AddFlag("--shutdown", &do_shutdown);
   parser.AddFlag("--ping", &do_ping);
+  parser.AddFlag("--stats", &do_stats);
   if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
 
   const int verbs = (job_path.empty() ? 0 : 1) +
                     (parser.Seen("--status") ? 1 : 0) +
                     (parser.Seen("--cancel") ? 1 : 0) +
-                    (do_shutdown ? 1 : 0) + (do_ping ? 1 : 0);
+                    (do_shutdown ? 1 : 0) + (do_ping ? 1 : 0) +
+                    (do_stats ? 1 : 0);
   if (verbs != 1 || !parser.Seen("--port") || port == 0 || port > 65535) {
     std::fprintf(stderr, "%s", kUsage);
     return tcm::tools::kExitUsage;
@@ -215,6 +240,7 @@ int main(int argc, char** argv) {
     return RunSubmit(&client.value(), job_path, no_wait, output,
                      report_json, save_report);
   }
+  if (do_stats) return RunStats(&client.value());
 
   tcm::ServeRequest request;
   if (parser.Seen("--status")) {
