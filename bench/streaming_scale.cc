@@ -1,18 +1,29 @@
 // Out-of-core streaming throughput: drive a generated million-row
-// record stream through StreamingPipelineRunner at 1/2/4/8 threads and
-// measure rows/sec, window count and the peak resident rows against the
+// record stream through StreamingPipelineRunner and measure rows/sec,
+// window count and the peak resident rows against the
 // --max-resident-rows budget. Seeds the BENCH_streaming.json perf
-// trajectory: one JSON object per thread count, printed as a line on
-// stdout and collected into a JSON array file.
+// trajectory: one JSON object per run, printed as a line on stdout and
+// collected into a JSON array file.
+//
+// The first row is the BASELINE: the pre-pipelined configuration
+// (merge_chunked, sequential repair, serial reads) at one thread — the
+// engine as it stood before the hierarchical merge landed. Every later
+// row is the current configuration (merge_projection, hierarchical
+// repair with EMD-bound pruning, overlapped reads) at 1/2/4/8 threads;
+// its "speedup" field is baseline_seconds / row_seconds, i.e. the
+// end-to-end gain of the new pipeline over the old serialized one.
 //
 // Environment knobs (see bench_util.h):
 //   TCM_N         — streamed record count      (default 1000000)
 //   TCM_RESIDENT  — resident-row budget        (default 100000)
 //   TCM_SHARD     — rows per shard             (default 4096)
-//   TCM_ALGO      — registry algorithm name    (default merge_chunked)
+//   TCM_ALGO      — measured algorithm         (default merge_projection)
+//   TCM_BASE_ALGO — baseline algorithm         (default merge_chunked)
 //   TCM_BENCH_OUT — output JSON path           (default BENCH_streaming.json)
 //   TCM_TRACE_OUT — Chrome trace-event JSON of the runs' spans (default off)
 //   TCM_FAST      — nonzero: 60k rows / 20k budget for smoke runs
+//   TCM_REQUIRE_SPEEDUP — fail (exit 1) unless the highest-thread
+//                   measured row reaches this speedup over the baseline
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +36,18 @@
 #include "data/record_source.h"
 #include "engine/streaming.h"
 #include "obs/trace.h"
+#include "tclose/merge.h"
+
+namespace {
+
+struct RunConfig {
+  std::string algorithm;
+  tcm::MergeStrategy merge_strategy = tcm::MergeStrategy::kSequential;
+  bool overlap_io = false;
+  size_t threads = 1;
+};
+
+}  // namespace
 
 int main() {
   const bool fast = tcm_bench::FastMode();
@@ -33,25 +56,27 @@ int main() {
       tcm_bench::EnvSize("TCM_RESIDENT", fast ? 20000 : 100000);
   const size_t shard_size = tcm_bench::EnvSize("TCM_SHARD", 4096);
   const char* algo_env = std::getenv("TCM_ALGO");
-  const std::string algorithm =
-      (algo_env != nullptr && *algo_env != '\0') ? algo_env : "merge_chunked";
+  const std::string algorithm = (algo_env != nullptr && *algo_env != '\0')
+                                    ? algo_env
+                                    : "merge_projection";
+  const char* base_env = std::getenv("TCM_BASE_ALGO");
+  const std::string baseline_algorithm =
+      (base_env != nullptr && *base_env != '\0') ? base_env : "merge_chunked";
   const char* out_env = std::getenv("TCM_BENCH_OUT");
   const std::string out_path =
       (out_env != nullptr && *out_env != '\0') ? out_env
                                                : "BENCH_streaming.json";
+  const char* require_env = std::getenv("TCM_REQUIRE_SPEEDUP");
+  const double required_speedup =
+      (require_env != nullptr && *require_env != '\0')
+          ? std::strtod(require_env, nullptr)
+          : 0.0;
 
-  tcm_bench::PrintHeader("streaming_scale: out-of-core " + algorithm +
-                         ", n=" + std::to_string(n) +
-                         ", resident budget=" + std::to_string(resident));
-
-  tcm::StreamingSpec spec;
-  spec.algorithm = algorithm;
-  spec.k = 5;
-  spec.t = 0.2;
-  spec.seed = 2016;
-  spec.shard_size = shard_size;
-  spec.max_resident_rows = resident;
-  spec.verify = true;
+  tcm_bench::PrintHeader(
+      "streaming_scale: out-of-core " + algorithm +
+      " (hierarchical+overlap) vs baseline " + baseline_algorithm +
+      " (sequential), n=" + std::to_string(n) +
+      ", resident budget=" + std::to_string(resident));
 
   // With TCM_TRACE_OUT, every run's stage and window spans land in one
   // Chrome trace file (the CI bench-smoke job uploads it as an artifact).
@@ -61,38 +86,69 @@ int main() {
     trace_sink.emplace(trace_env);
   }
 
-  std::vector<std::string> json_lines;
-  double reference_seconds = 0.0;
+  std::vector<RunConfig> configs;
+  configs.push_back({baseline_algorithm, tcm::MergeStrategy::kSequential,
+                     /*overlap_io=*/false, /*threads=*/1});
   for (size_t threads : {1u, 2u, 4u, 8u}) {
+    configs.push_back({algorithm, tcm::MergeStrategy::kHierarchical,
+                       /*overlap_io=*/true, threads});
+  }
+
+  std::vector<std::string> json_lines;
+  double baseline_seconds = 0.0;
+  double last_speedup = 0.0;
+  size_t last_threads = 0;
+  for (const RunConfig& config : configs) {
+    tcm::StreamingSpec spec;
+    spec.algorithm = config.algorithm;
+    spec.k = 5;
+    spec.t = 0.2;
+    spec.seed = 2016;
+    spec.shard_size = shard_size;
+    spec.max_resident_rows = resident;
+    spec.merge_strategy = config.merge_strategy;
+    spec.overlap_io = config.overlap_io;
+    spec.verify = true;
+
     // A source is single-pass: regenerate the identical stream per run.
     auto source = tcm::MakeUniformSource(n, 3, 2016);
-    tcm::StreamingPipelineRunner runner(threads);
+    tcm::StreamingPipelineRunner runner(config.threads);
     tcm::WallTimer timer;
     auto report = runner.Run(source.get(), spec);
     double seconds = timer.ElapsedSeconds();
     if (!report.ok()) {
-      std::fprintf(stderr, "threads=%zu failed: %s\n", threads,
+      std::fprintf(stderr, "%s threads=%zu failed: %s\n",
+                   config.algorithm.c_str(), config.threads,
                    report.status().ToString().c_str());
       return 1;
     }
-    if (threads == 1) reference_seconds = seconds;
+    const bool is_baseline = baseline_seconds == 0.0;
+    if (is_baseline) baseline_seconds = seconds;
     bool bounded = report->peak_resident_rows <= resident;
     bool verified = report->k_verified && report->t_verified;
+    double speedup = baseline_seconds / seconds;
+    if (!is_baseline) {
+      last_speedup = speedup;
+      last_threads = config.threads;
+    }
 
-    char line[512];
+    char line[640];
     std::snprintf(
         line, sizeof(line),
-        "{\"bench\":\"streaming_scale\",\"algorithm\":\"%s\",\"n\":%zu,"
-        "\"max_resident_rows\":%zu,\"peak_resident_rows\":%zu,"
+        "{\"bench\":\"streaming_scale\",\"algorithm\":\"%s\","
+        "\"merge_strategy\":\"%s\",\"overlap_io\":%s,\"baseline\":%s,"
+        "\"n\":%zu,\"max_resident_rows\":%zu,\"peak_resident_rows\":%zu,"
         "\"bounded\":%s,\"windows\":%zu,\"shard_size\":%zu,\"threads\":%zu,"
         "\"seconds\":%.3f,\"rows_per_sec\":%.0f,\"speedup\":%.2f,"
-        "\"verified\":%s,\"final_merges\":%zu,\"sse\":%.6f,"
-        "\"max_emd\":%.4f}",
-        algorithm.c_str(), n, resident, report->peak_resident_rows,
-        bounded ? "true" : "false", report->num_windows, shard_size, threads,
-        seconds, static_cast<double>(n) / seconds,
-        reference_seconds / seconds, verified ? "true" : "false",
-        report->final_merges, report->normalized_sse,
+        "\"verified\":%s,\"final_merges\":%zu,\"pruned_checks\":%zu,"
+        "\"sse\":%.6f,\"max_emd\":%.4f}",
+        config.algorithm.c_str(), tcm::MergeStrategyName(config.merge_strategy),
+        config.overlap_io ? "true" : "false", is_baseline ? "true" : "false",
+        n, resident, report->peak_resident_rows, bounded ? "true" : "false",
+        report->num_windows, shard_size, config.threads, seconds,
+        static_cast<double>(n) / seconds, speedup,
+        verified ? "true" : "false", report->final_merges,
+        report->pruned_checks, report->normalized_sse,
         report->max_cluster_emd);
     std::printf("%s\n", line);
     json_lines.push_back(line);
@@ -121,6 +177,14 @@ int main() {
       return 1;
     }
     std::printf("# wrote %s\n", trace_env);
+  }
+
+  if (required_speedup > 0.0 && last_speedup < required_speedup) {
+    std::fprintf(stderr,
+                 "speedup %.2fx at %zu threads is below the required "
+                 "%.2fx over the sequential baseline\n",
+                 last_speedup, last_threads, required_speedup);
+    return 1;
   }
   return 0;
 }

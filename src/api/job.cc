@@ -243,7 +243,8 @@ Status ParseExecution(const JsonValue& json, JobExecution* execution) {
   TCM_RETURN_IF_ERROR(RequireObject(json, "execution"));
   TCM_RETURN_IF_ERROR(CheckKeys(
       json, "execution",
-      {"mode", "threads", "shard_size", "max_resident_rows"}));
+      {"mode", "threads", "shard_size", "max_resident_rows",
+       "merge_strategy", "overlap_io"}));
   std::string mode = ExecutionModeName(execution->mode);
   TCM_RETURN_IF_ERROR(ReadString(json, "execution", "mode", &mode));
   if (mode == "in_memory") {
@@ -261,6 +262,17 @@ Status ParseExecution(const JsonValue& json, JobExecution* execution) {
                                &execution->shard_size));
   TCM_RETURN_IF_ERROR(ReadSize(json, "execution", "max_resident_rows",
                                &execution->max_resident_rows));
+  std::string strategy = MergeStrategyName(execution->merge_strategy);
+  TCM_RETURN_IF_ERROR(
+      ReadString(json, "execution", "merge_strategy", &strategy));
+  auto parsed = ParseMergeStrategy(strategy);
+  if (!parsed.ok()) {
+    return SpecError("execution.merge_strategy: " +
+                     parsed.status().message());
+  }
+  execution->merge_strategy = *parsed;
+  TCM_RETURN_IF_ERROR(
+      ReadBool(json, "execution", "overlap_io", &execution->overlap_io));
   return Status::Ok();
 }
 
@@ -440,6 +452,13 @@ JsonValue JobSpec::ToJson() const {
   if (execution.mode == ExecutionMode::kStreaming) {
     execution_json.Set("max_resident_rows", execution.max_resident_rows);
   }
+  if (execution.merge_strategy != MergeStrategy::kSequential) {
+    execution_json.Set("merge_strategy",
+                       MergeStrategyName(execution.merge_strategy));
+  }
+  if (execution.overlap_io) {
+    execution_json.Set("overlap_io", execution.overlap_io);
+  }
   json.Set("execution", std::move(execution_json));
 
   json.Set("verify", verify);
@@ -586,6 +605,9 @@ Status JobSpec::Validate() const {
     if (sweep.has_value()) {
       return SpecError("sweep requires in-memory execution");
     }
+  } else if (execution.overlap_io) {
+    return SpecError("execution.overlap_io applies to streaming "
+                     "execution only");
   }
 
   // Sweep cells.

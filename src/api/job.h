@@ -9,6 +9,7 @@
 
 #include "common/json.h"
 #include "common/result.h"
+#include "tclose/merge.h"
 
 namespace tcm {
 
@@ -86,6 +87,16 @@ struct JobExecution {
   size_t shard_size = 4096;  // rows per shard; 0 disables sharding
   // Streaming only: resident input-row budget (see engine/streaming.h).
   size_t max_resident_rows = 200000;
+  // Engine for the global t-closeness repair pass: "sequential" is the
+  // byte-stable legacy loop, "hierarchical" repairs deterministic
+  // subtrees in parallel with EMD-bound pruning (reproducible at any
+  // thread count, but legitimately different release bytes). See
+  // ShardedAnonymizeOptions::merge_strategy.
+  MergeStrategy merge_strategy = MergeStrategy::kSequential;
+  // Streaming only: overlap the next window's read/parse with the
+  // current window's processing (see StreamingSpec::overlap_io; halves
+  // the window target to stay inside max_resident_rows).
+  bool overlap_io = false;
 };
 
 // Optional parameter-sweep fan-out: the cross product of algorithms x ks

@@ -34,9 +34,22 @@ JsonValue RunReport::ToJson() const {
   execution_json.Set("threads", threads);
   execution_json.Set("shards", num_shards);
   execution_json.Set("final_merges", final_merges);
+  if (!swept) {
+    execution_json.Set("merge_strategy", MergeStrategyName(merge_strategy));
+    JsonValue merge_json = JsonValue::MakeObject();
+    merge_json.Set("subtrees", merge_subtrees);
+    merge_json.Set("subtree_merges", subtree_merges);
+    merge_json.Set("tail_merges", tail_merges);
+    merge_json.Set("candidate_checks", candidate_checks);
+    merge_json.Set("pruned_checks", pruned_checks);
+    merge_json.Set("exact_checks", exact_checks);
+    execution_json.Set("merge", std::move(merge_json));
+  }
   if (mode == ExecutionMode::kStreaming) {
     execution_json.Set("windows", num_windows);
     execution_json.Set("peak_resident_rows", peak_resident_rows);
+    execution_json.Set("overlap_io", overlap_io);
+    execution_json.Set("overlapped_reads", overlapped_reads);
   }
   json.Set("execution", std::move(execution_json));
 

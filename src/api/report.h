@@ -69,6 +69,18 @@ struct RunReport {
   size_t final_merges = 0;
   size_t num_windows = 0;        // streaming only
   size_t peak_resident_rows = 0; // streaming only
+  // Global repair-pass engine and its ledger (see MergeStats): subtree
+  // fan-out plus the bound-pruning counters, which always satisfy
+  // candidate_checks == pruned_checks + exact_checks.
+  MergeStrategy merge_strategy = MergeStrategy::kSequential;
+  size_t merge_subtrees = 0;
+  size_t subtree_merges = 0;
+  size_t tail_merges = 0;
+  size_t candidate_checks = 0;
+  size_t pruned_checks = 0;
+  size_t exact_checks = 0;
+  bool overlap_io = false;        // streaming only
+  size_t overlapped_reads = 0;    // streaming only
 
   // Verification verdicts (stay false when verify was off).
   bool verify_requested = false;

@@ -93,6 +93,7 @@ Status RunInMemoryJob(const JobSpec& spec, RunReport* report) {
   pipeline.t = spec.algorithm.t;
   pipeline.seed = spec.algorithm.seed;
   pipeline.shard_size = spec.execution.shard_size;
+  pipeline.merge_strategy = spec.execution.merge_strategy;
   pipeline.verify = spec.verify;
   pipeline.output_path = spec.output.release_path;
 
@@ -135,6 +136,12 @@ Status RunInMemoryJob(const JobSpec& spec, RunReport* report) {
       {"merge_seconds", pipeline_report.merge_seconds},
       {"metrics_seconds", pipeline_report.metrics_seconds},
   };
+  report->merge_subtrees = pipeline_report.merge_subtrees;
+  report->subtree_merges = pipeline_report.subtree_merges;
+  report->tail_merges = pipeline_report.tail_merges;
+  report->candidate_checks = pipeline_report.candidate_checks;
+  report->pruned_checks = pipeline_report.pruned_checks;
+  report->exact_checks = pipeline_report.exact_checks;
   report->release = std::move(pipeline_report.result.anonymized);
   return Status::Ok();
 }
@@ -182,6 +189,8 @@ Status RunStreamingJob(const JobSpec& spec, RunReport* report) {
   streaming.seed = spec.algorithm.seed;
   streaming.shard_size = spec.execution.shard_size;
   streaming.max_resident_rows = spec.execution.max_resident_rows;
+  streaming.merge_strategy = spec.execution.merge_strategy;
+  streaming.overlap_io = spec.execution.overlap_io;
   streaming.verify = spec.verify;
   streaming.output_path = spec.output.release_path;
 
@@ -216,6 +225,13 @@ Status RunStreamingJob(const JobSpec& spec, RunReport* report) {
       {"merge_seconds", streaming_report.merge_seconds},
       {"metrics_seconds", streaming_report.metrics_seconds},
   };
+  report->merge_subtrees = streaming_report.merge_subtrees;
+  report->subtree_merges = streaming_report.subtree_merges;
+  report->tail_merges = streaming_report.tail_merges;
+  report->candidate_checks = streaming_report.candidate_checks;
+  report->pruned_checks = streaming_report.pruned_checks;
+  report->exact_checks = streaming_report.exact_checks;
+  report->overlapped_reads = streaming_report.overlapped_reads;
   report->windows = std::move(streaming_report.windows);
   return Status::Ok();
 }
@@ -320,6 +336,8 @@ Result<RunReport> RunJob(const JobSpec& spec) {
   report.k = spec.algorithm.k;
   report.t = spec.algorithm.t;
   report.seed = spec.algorithm.seed;
+  report.merge_strategy = spec.execution.merge_strategy;
+  report.overlap_io = spec.execution.overlap_io;
   report.verify_requested = spec.verify && !report.swept;
   if (!report.swept) report.release_path = spec.output.release_path;
 

@@ -33,6 +33,14 @@ size_t RequiredClusterSize(size_t n, size_t k, double t) {
   return std::min(n, std::max(k, k_t));
 }
 
+double MixtureEmdUpperBound(size_t na, double emd_a, size_t nb,
+                            double emd_b) {
+  TCM_DCHECK_GE(na, 1u);
+  TCM_DCHECK_GE(nb, 1u);
+  double wa = static_cast<double>(na), wb = static_cast<double>(nb);
+  return (wa * emd_a + wb * emd_b) / (wa + wb);
+}
+
 size_t AdjustClusterSizeForRemainder(size_t n, size_t k) {
   TCM_CHECK_GE(k, 1u);
   TCM_CHECK_LE(k, n);

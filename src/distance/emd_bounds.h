@@ -25,6 +25,20 @@ double MaxClusterEmdOnePerSubset(size_t n, size_t k);
 // t <= 0 collapses to a single cluster (returns n).
 size_t RequiredClusterSize(size_t n, size_t k, double t);
 
+// Upper bound on the EMD of a merged cluster from its parts: for disjoint
+// clusters A (|A| = na, EMD emd_a) and B (|B| = nb, EMD emd_b) over the
+// same reference distribution,
+//   EMD(A ∪ B) <= (na * emd_a + nb * emd_b) / (na + nb).
+// The union's distribution is exactly the na:nb mixture of the parts'
+// (each member keeps mass 1/|A ∪ B|), and the ordered EMD against a fixed
+// reference is an L1 norm of the linear cumulative-difference map — hence
+// convex in its first argument, so the mixture's EMD is at most the
+// mixture of the EMDs. Also valid when emd_a/emd_b are themselves upper
+// bounds. The merge loop uses it to prove a fresh merger t-close without
+// an exact evaluation.
+double MixtureEmdUpperBound(size_t na, double emd_a, size_t nb,
+                            double emd_b);
+
 // Equation (4): enlarges k until the leftover records (n mod k) do not
 // outnumber the clusters (floor(n/k)), so every leftover can be absorbed
 // by giving one extra record to some cluster. The paper states this as a

@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "data/csv.h"
 #include "obs/trace.h"
+#include "privacy/equivalence.h"
 #include "privacy/kanonymity.h"
 #include "privacy/tcloseness.h"
 
@@ -14,8 +15,11 @@ namespace tcm {
 Result<ReleaseVerification> CheckRelease(const Dataset& release, size_t k,
                                          double t) {
   ReleaseVerification verification;
-  TCM_ASSIGN_OR_RETURN(verification.k_anonymous, IsKAnonymous(release, k));
-  TCM_ASSIGN_OR_RETURN(verification.t_close, IsTClose(release, t));
+  // One grouping pass feeds both checks — grouping dominates verify cost,
+  // and the k and t evaluators need the same equivalence classes.
+  TCM_ASSIGN_OR_RETURN(auto classes, EquivalenceClasses(release));
+  verification.k_anonymous = IsKAnonymous(classes, k);
+  TCM_ASSIGN_OR_RETURN(verification.t_close, IsTClose(release, t, classes));
   return verification;
 }
 
@@ -126,6 +130,7 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
   options.params.t = spec.t;
   options.params.seed = spec.seed;
   options.shard_size = spec.shard_size;
+  options.merge_strategy = spec.merge_strategy;
   ShardedAnonymizeStats stats;
   TCM_ASSIGN_OR_RETURN(report.result,
                        ShardedAnonymize(*input, options, &pool_, &stats));
@@ -136,6 +141,12 @@ Result<PipelineReport> PipelineRunner::Run(const Dataset& data,
   report.shard_anonymize_seconds = stats.anonymize_seconds;
   report.merge_seconds = stats.merge_seconds;
   report.metrics_seconds = stats.measure_seconds;
+  report.merge_subtrees = stats.merge_subtrees;
+  report.subtree_merges = stats.subtree_merges;
+  report.tail_merges = stats.tail_merges;
+  report.candidate_checks = stats.candidate_checks;
+  report.pruned_checks = stats.pruned_checks;
+  report.exact_checks = stats.exact_checks;
 
   // Verify stage: independent re-check of both guarantees, the way an
   // auditor (not the algorithm) would.

@@ -36,6 +36,10 @@ struct PipelineSpec {
   // Shard stage: target rows per shard; 0 disables sharding.
   size_t shard_size = 4096;
 
+  // Engine for the global t-closeness repair pass (see
+  // ShardedAnonymizeOptions::merge_strategy).
+  MergeStrategy merge_strategy = MergeStrategy::kSequential;
+
   // Verify stage: re-check k-anonymity and t-closeness of the release
   // with the independent privacy evaluators; a failure is an error.
   bool verify = true;
@@ -67,6 +71,13 @@ struct PipelineReport {
   double shard_anonymize_seconds = 0.0; // per-shard fan-out wall clock
   double merge_seconds = 0.0;           // global MergeUntilTClose pass
   double metrics_seconds = 0.0;         // aggregation + utility metrics
+  // Final-merge engine detail (see MergeStats).
+  size_t merge_subtrees = 0;
+  size_t subtree_merges = 0;
+  size_t tail_merges = 0;
+  size_t candidate_checks = 0;
+  size_t pruned_checks = 0;
+  size_t exact_checks = 0;
 };
 
 // Executes PipelineSpecs on an owned thread pool. The release is

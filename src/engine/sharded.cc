@@ -17,7 +17,11 @@ ShardPlan MakeShardPlan(size_t num_records, size_t shard_size, size_t k) {
   ShardPlan plan;
   size_t num_shards = 1;
   if (shard_size > 0 && shard_size < num_records) {
-    num_shards = num_records / shard_size;  // >= 1
+    // Round to nearest: truncation made e.g. 8191 rows at shard_size
+    // 4096 run as ONE 8191-row shard (~2x the requested size); rounding
+    // splits it into two ~4096-row shards as asked.
+    num_shards = std::max<size_t>(
+        1, (num_records + shard_size / 2) / shard_size);
     // Keep every shard workable: at least max(3k, 2) rows each.
     size_t min_rows = std::max<size_t>(3 * k, 2);
     if (min_rows > 0) {
@@ -166,14 +170,29 @@ Result<AnonymizationResult> ShardedAnonymize(
     stage_timer.Restart();
     QiSpace space(data, params.normalization);
     global_emd.emplace(data, 0);
+    MergeOptions merge_options;
+    merge_options.strategy = options.merge_strategy;
+    merge_options.pool = pool;
+    // The hierarchical engine's bytes differ from the sequential pin
+    // anyway, so it also takes the bound-pruning fast path.
+    merge_options.prune =
+        options.merge_strategy == MergeStrategy::kHierarchical;
     MergeStats merge_stats;
-    TCM_ASSIGN_OR_RETURN(merged,
-                         MergeUntilTClose(space, *global_emd, params.t,
-                                          std::move(merged), &merge_stats));
+    TCM_ASSIGN_OR_RETURN(
+        merged,
+        MergeUntilTCloseWith(space, {&*global_emd}, params.t,
+                             std::move(merged), merge_options,
+                             &merge_stats));
     final_merges = merge_stats.merges;
     if (stats != nullptr) {
       stats->final_merges = final_merges;
       stats->merge_seconds = stage_timer.ElapsedSeconds();
+      stats->merge_subtrees = merge_stats.num_subtrees;
+      stats->subtree_merges = merge_stats.subtree_merges;
+      stats->tail_merges = merge_stats.tail_merges;
+      stats->candidate_checks = merge_stats.candidate_checks;
+      stats->pruned_checks = merge_stats.pruned_checks;
+      stats->exact_checks = merge_stats.exact_checks;
     }
   }
 

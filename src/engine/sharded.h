@@ -10,6 +10,7 @@
 #include "engine/registry.h"
 #include "engine/thread_pool.h"
 #include "tclose/anonymizer.h"
+#include "tclose/merge.h"
 
 namespace tcm {
 
@@ -26,9 +27,11 @@ struct ShardPlan {
 };
 
 // Builds the plan. `shard_size` is the target rows per shard; 0 (or a
-// value >= n) yields a single shard. The shard count is clamped so every
-// shard keeps at least max(3k, 2) rows, the floor the clustering
-// heuristics need to work with.
+// value > n) yields a single shard. The shard count is num_records /
+// shard_size rounded to nearest (so 8191 rows at shard_size 4096 run as
+// two ~4096-row shards, not one oversized 8191-row shard), and is
+// clamped so every shard keeps at least max(3k, 2) rows, the floor the
+// clustering heuristics need to work with.
 ShardPlan MakeShardPlan(size_t num_records, size_t shard_size, size_t k);
 
 struct ShardedAnonymizeOptions {
@@ -39,9 +42,16 @@ struct ShardedAnonymizeOptions {
   // After concatenating the per-shard partitions, merge clusters whose
   // EMD against the GLOBAL confidential distribution exceeds t (per-shard
   // runs only see their shard's distribution, so a small residual can
-  // remain). The pass is sequential and deterministic; it only ever grows
-  // clusters, so k-anonymity is preserved.
+  // remain). The pass is deterministic; it only ever grows clusters, so
+  // k-anonymity is preserved.
   bool final_merge = true;
+  // Engine for the final_merge pass. kSequential is the byte-stable
+  // legacy loop; kHierarchical repairs deterministic subtrees in
+  // parallel on the caller's pool (with emd_bounds pruning enabled) and
+  // finishes with a sequential global tail — reproducible at any thread
+  // count, but with legitimately different (still k-anonymous + t-close)
+  // release bytes than kSequential.
+  MergeStrategy merge_strategy = MergeStrategy::kSequential;
 };
 
 struct ShardedAnonymizeStats {
@@ -54,6 +64,14 @@ struct ShardedAnonymizeStats {
   double anonymize_seconds = 0.0; // per-shard fan-out, submission to join
   double merge_seconds = 0.0;     // global MergeUntilTClose repair pass
   double measure_seconds = 0.0;   // aggregation + utility measurement
+  // Final-merge engine detail (see MergeStats): subtree fan-out and the
+  // bound-pruning ledger (candidate == pruned + exact).
+  size_t merge_subtrees = 0;
+  size_t subtree_merges = 0;
+  size_t tail_merges = 0;
+  size_t candidate_checks = 0;
+  size_t pruned_checks = 0;
+  size_t exact_checks = 0;
 };
 
 // Anonymizes `data` shard-by-shard on `pool` (serially when pool is null

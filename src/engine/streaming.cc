@@ -1,6 +1,7 @@
 #include "engine/streaming.h"
 
 #include <algorithm>
+#include <future>
 #include <memory>
 #include <utility>
 
@@ -34,11 +35,17 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
   }
   const size_t read_ahead = spec.k;
   const size_t min_window = std::max<size_t>(spec.k, 2);
-  if (spec.max_resident_rows < read_ahead + min_window) {
+  // With overlap_io two windows are resident at once (the one being
+  // processed and the one being prefetched), so each gets half the
+  // budget left after the read-ahead.
+  const size_t budget_floor =
+      read_ahead + (spec.overlap_io ? 2 * min_window : min_window);
+  if (spec.max_resident_rows < budget_floor) {
     return Status::InvalidArgument(
         "max_resident_rows (" + std::to_string(spec.max_resident_rows) +
-        ") too small: need at least k + max(k, 2) = " +
-        std::to_string(read_ahead + min_window) + " rows for k = " +
+        ") too small: need at least k + " +
+        (spec.overlap_io ? std::string("2 * ") : std::string("")) +
+        "max(k, 2) = " + std::to_string(budget_floor) + " rows for k = " +
         std::to_string(spec.k));
   }
   const Schema& schema = source->schema();
@@ -50,7 +57,9 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
         "source schema has no confidential attribute");
   }
 
-  const size_t window_target = spec.max_resident_rows - read_ahead;
+  const size_t window_target =
+      spec.overlap_io ? (spec.max_resident_rows - read_ahead) / 2
+                      : spec.max_resident_rows - read_ahead;
   StreamingReport report;
   report.threads = pool_.num_threads();
   report.k_verified = spec.verify;  // stays true until a window fails
@@ -61,47 +70,90 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
   options.params.k = spec.k;
   options.params.t = spec.t;
   options.shard_size = spec.shard_size;
+  options.merge_strategy = spec.merge_strategy;
 
   std::unique_ptr<StreamingCsvWriter> writer;
+  // Reader state. Exactly one read_window call runs at a time — inline
+  // in the sequential executor, or as the single outstanding prefetch
+  // task in the overlapped one — so carry/exhausted need no lock: the
+  // future's get() orders each prefetch before the next use.
   Dataset carry(schema);
   bool exhausted = false;
-  WallTimer total;
-  WallTimer timer;
-  while (!exhausted) {
-    TraceSpan window_span("window");
-    // Assemble the next window: carried read-ahead rows first, then fill
-    // from the stream, then read k rows ahead to learn whether this is
-    // the final window.
-    timer.Restart();
-    Dataset window(schema);
-    {
-      TraceSpan span("read");
+
+  // Assembles the next window: carried read-ahead rows first, then fill
+  // from the stream, then read k rows ahead to learn whether this is the
+  // final window.
+  struct WindowRead {
+    Status status = Status::Ok();
+    Dataset window;
+    bool final_window = false;
+    size_t resident = 0;  // window + carry + still-processing rows
+    double seconds = 0.0;
+  };
+  auto read_window = [&schema, &carry, &exhausted, source, window_target,
+                      read_ahead](size_t processing_rows) {
+    TraceSpan span("read");
+    WallTimer read_timer;
+    WindowRead read;
+    read.window = Dataset(schema);
+    auto fill = [&]() -> Status {
       for (size_t row = 0; row < carry.NumRecords(); ++row) {
-        TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
+        TCM_RETURN_IF_ERROR(read.window.Append(carry.record(row)));
       }
       carry = Dataset(schema);
-      if (window.NumRecords() < window_target) {
+      if (read.window.NumRecords() < window_target) {
         TCM_RETURN_IF_ERROR(
-            source->ReadInto(&window, window_target - window.NumRecords())
+            source
+                ->ReadInto(&read.window,
+                           window_target - read.window.NumRecords())
                 .status());
       }
       TCM_ASSIGN_OR_RETURN(size_t ahead,
                            source->ReadInto(&carry, read_ahead));
       if (ahead < read_ahead) {
-        // Stream exhausted inside the read-ahead: its rows are too few to
-        // anonymize alone, so they join this (final) window.
+        // Stream exhausted inside the read-ahead: its rows are too few
+        // to anonymize alone, so they join this (final) window.
         for (size_t row = 0; row < carry.NumRecords(); ++row) {
-          TCM_RETURN_IF_ERROR(window.Append(carry.record(row)));
+          TCM_RETURN_IF_ERROR(read.window.Append(carry.record(row)));
         }
         carry = Dataset(schema);
         exhausted = true;
       }
-    }
-    report.read_seconds += timer.ElapsedSeconds();
+      return Status::Ok();
+    };
+    read.status = fill();
+    read.final_window = exhausted;
+    read.resident = processing_rows + read.window.NumRecords() +
+                    carry.NumRecords();
+    read.seconds = read_timer.ElapsedSeconds();
+    return read;
+  };
+
+  WallTimer total;
+  WallTimer timer;
+  WindowRead current = read_window(0);
+  for (;;) {
+    TCM_RETURN_IF_ERROR(current.status);
+    report.read_seconds += current.seconds;
     report.peak_resident_rows =
-        std::max(report.peak_resident_rows,
-                 window.NumRecords() + carry.NumRecords());
-    if (window.empty()) break;
+        std::max(report.peak_resident_rows, current.resident);
+    if (current.window.empty()) break;
+    TraceSpan window_span("window");
+    Dataset window = std::move(current.window);
+
+    // Overlap: kick off the next window's read/parse before this
+    // window's anonymize/verify/write. The prefetch task exclusively
+    // owns the reader state until its future is collected below.
+    std::future<WindowRead> prefetch;
+    const bool overlapped = spec.overlap_io && !current.final_window;
+    const bool was_final = current.final_window;
+    if (overlapped) {
+      const size_t processing_rows = window.NumRecords();
+      prefetch = pool_.Submit([&read_window, processing_rows]() {
+        return read_window(processing_rows);
+      });
+      ++report.overlapped_reads;
+    }
 
     // Anonymize: the same shard fan-out the in-memory runner uses.
     const size_t w = report.num_windows;
@@ -121,6 +173,12 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
     report.shard_anonymize_seconds += stats.anonymize_seconds;
     report.merge_seconds += stats.merge_seconds;
     report.metrics_seconds += stats.measure_seconds;
+    report.merge_subtrees += stats.merge_subtrees;
+    report.subtree_merges += stats.subtree_merges;
+    report.tail_merges += stats.tail_merges;
+    report.candidate_checks += stats.candidate_checks;
+    report.pruned_checks += stats.pruned_checks;
+    report.exact_checks += stats.exact_checks;
 
     StreamingWindowSummary summary;
     summary.rows = window.NumRecords();
@@ -180,6 +238,14 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
                              static_cast<double>(summary.rows);
     report.windows.push_back(summary);
     ++report.num_windows;
+
+    if (overlapped) {
+      current = prefetch.get();
+    } else if (!was_final) {
+      current = read_window(0);
+    } else {
+      break;
+    }
   }
 
   if (report.num_windows == 0) {

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "data/record_source.h"
 #include "engine/thread_pool.h"
+#include "tclose/merge.h"
 
 namespace tcm {
 
@@ -48,8 +49,22 @@ struct StreamingSpec {
   // Rows per shard within a window; 0 disables sharding.
   size_t shard_size = 4096;
 
-  // Resident input-row budget; must be at least k + max(k, 2).
+  // Resident input-row budget; must be at least k + max(k, 2)
+  // (doubled when overlap_io halves the window).
   size_t max_resident_rows = 100000;
+
+  // Engine for each window's global repair pass (see
+  // ShardedAnonymizeOptions::merge_strategy).
+  MergeStrategy merge_strategy = MergeStrategy::kSequential;
+
+  // Overlap window N+1's read/parse with window N's
+  // anonymize/verify/write: while the current window runs on this
+  // thread, one prefetch task fills the next window on the pool. The
+  // window target is halved so current window + prefetch + read-ahead
+  // still fit the max_resident_rows budget — so releases differ from the
+  // non-overlapped run of the same spec (different window boundaries),
+  // but stay deterministic for any thread count.
+  bool overlap_io = false;
 
   // Re-check k-anonymity and t-closeness of every released window with
   // the independent privacy evaluators; a failure is an error.
@@ -99,6 +114,16 @@ struct StreamingReport {
   double shard_anonymize_seconds = 0.0; // per-shard fan-out wall clock
   double merge_seconds = 0.0;           // global MergeUntilTClose passes
   double metrics_seconds = 0.0;         // aggregation + utility metrics
+  // Merge-engine detail summed across windows (see MergeStats).
+  size_t merge_subtrees = 0;
+  size_t subtree_merges = 0;
+  size_t tail_merges = 0;
+  size_t candidate_checks = 0;
+  size_t pruned_checks = 0;
+  size_t exact_checks = 0;
+  // Window reads that ran overlapped with the previous window's
+  // processing (overlap_io only).
+  size_t overlapped_reads = 0;
   std::vector<StreamingWindowSummary> windows;
 };
 

@@ -53,6 +53,23 @@ void ThreadPool::WaitAll() {
   while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    MutexLock lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    MutexLock lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) all_done_.NotifyAll();
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -66,6 +66,15 @@ class ThreadPool {
   // Tasks submitted while waiting are waited for too.
   void WaitAll() TCM_EXCLUDES(mutex_);
 
+  // Caller-assist: pops one queued task (if any) and runs it on the
+  // calling thread, returning true; returns false without blocking when
+  // the queue is empty. Lets a caller that is itself waiting on futures
+  // from this pool lend its thread instead of idling — a single-threaded
+  // pool plus an assisting caller makes progress on two tasks at once,
+  // and a fan-out can never deadlock behind its own waiter. Tasks must
+  // not assume which thread runs them (they already cannot, per Submit).
+  bool TryRunOneTask() TCM_EXCLUDES(mutex_);
+
   // Graceful stop, the pool's cancellation boundary: rejects every task
   // submitted from this point on, finishes the queued and running ones,
   // and joins the workers. Idempotent; safe to call concurrently with

@@ -1,8 +1,43 @@
 #include "privacy/equivalence.h"
 
-#include <map>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
 
 namespace tcm {
+namespace {
+
+// Hash/equality over rows of the flattened QI matrix: a key is the q
+// doubles starting at `offset`. -0.0 is folded into 0.0 before hashing so
+// the two zero encodings land in one class, matching the ordered-map
+// grouping this replaces (where -0.0 < 0.0 is false both ways).
+struct QiRowHash {
+  const std::vector<double>* keys;
+  size_t width;
+  size_t operator()(size_t offset) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (size_t j = 0; j < width; ++j) {
+      double v = (*keys)[offset + j];
+      if (v == 0.0) v = 0.0;
+      h ^= std::hash<double>{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct QiRowEqual {
+  const std::vector<double>* keys;
+  size_t width;
+  bool operator()(size_t a, size_t b) const {
+    for (size_t j = 0; j < width; ++j) {
+      if ((*keys)[a + j] != (*keys)[b + j]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
 
 Result<std::vector<std::vector<size_t>>> EquivalenceClasses(
     const Dataset& data) {
@@ -10,20 +45,31 @@ Result<std::vector<std::vector<size_t>>> EquivalenceClasses(
   if (qi.empty()) {
     return Status::InvalidArgument("dataset has no quasi-identifiers");
   }
-  // Exact-match grouping on the QI tuple. doubles are compared bitwise-
-  // equal, which is correct here: aggregation writes identical centroid
+  const size_t n = data.NumRecords();
+  const size_t q = qi.size();
+  // Flatten the QI tuples once so grouping compares a contiguous array
+  // instead of re-reading variant cells per probe. Exact-match grouping
+  // on doubles is correct here: aggregation writes identical centroid
   // values into every member of a cluster.
-  std::map<std::vector<double>, std::vector<size_t>> groups;
-  std::vector<double> key(qi.size());
-  for (size_t row = 0; row < data.NumRecords(); ++row) {
-    for (size_t j = 0; j < qi.size(); ++j) {
-      key[j] = data.cell(row, qi[j]).AsDouble();
+  std::vector<double> keys(n * q);
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t j = 0; j < q; ++j) {
+      keys[row * q + j] = data.cell(row, qi[j]).AsDouble();
     }
-    groups[key].push_back(row);
   }
   std::vector<std::vector<size_t>> out;
-  out.reserve(groups.size());
-  for (auto& [unused, rows] : groups) out.push_back(std::move(rows));
+  QiRowHash hash{&keys, q};
+  QiRowEqual equal{&keys, q};
+  std::unordered_map<size_t, size_t, QiRowHash, QiRowEqual> group_of(
+      /*bucket_count=*/n + 1, hash, equal);
+  for (size_t row = 0; row < n; ++row) {
+    auto [it, inserted] = group_of.try_emplace(row * q, out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(row);
+  }
+  // Rows are scanned ascending, so each group's members are ascending and
+  // the groups appear in first-occurrence order — deterministic no matter
+  // how the hash scatters them.
   return out;
 }
 

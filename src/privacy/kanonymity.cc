@@ -8,6 +8,11 @@ namespace tcm {
 
 Result<KAnonymityReport> EvaluateKAnonymity(const Dataset& data) {
   TCM_ASSIGN_OR_RETURN(auto classes, EquivalenceClasses(data));
+  return EvaluateKAnonymity(classes);
+}
+
+KAnonymityReport EvaluateKAnonymity(
+    const std::vector<std::vector<size_t>>& classes) {
   KAnonymityReport report;
   report.num_equivalence_classes = classes.size();
   if (classes.empty()) return report;
@@ -26,6 +31,10 @@ Result<KAnonymityReport> EvaluateKAnonymity(const Dataset& data) {
 Result<bool> IsKAnonymous(const Dataset& data, size_t k) {
   TCM_ASSIGN_OR_RETURN(KAnonymityReport report, EvaluateKAnonymity(data));
   return report.min_class_size >= k;
+}
+
+bool IsKAnonymous(const std::vector<std::vector<size_t>>& classes, size_t k) {
+  return EvaluateKAnonymity(classes).min_class_size >= k;
 }
 
 }  // namespace tcm

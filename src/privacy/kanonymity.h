@@ -1,6 +1,8 @@
 #ifndef TCM_PRIVACY_KANONYMITY_H_
 #define TCM_PRIVACY_KANONYMITY_H_
 
+#include <vector>
+
 #include "common/result.h"
 #include "data/dataset.h"
 
@@ -17,8 +19,15 @@ struct KAnonymityReport {
 // the size of the smallest equivalence class.
 Result<KAnonymityReport> EvaluateKAnonymity(const Dataset& data);
 
+// Same measurement over precomputed equivalence classes, for callers
+// that already grouped the release (e.g. the verify stage, which shares
+// one EquivalenceClasses pass between the k and t checks).
+KAnonymityReport EvaluateKAnonymity(
+    const std::vector<std::vector<size_t>>& classes);
+
 // True iff every equivalence class has at least k records.
 Result<bool> IsKAnonymous(const Dataset& data, size_t k);
+bool IsKAnonymous(const std::vector<std::vector<size_t>>& classes, size_t k);
 
 }  // namespace tcm
 

@@ -9,13 +9,19 @@ namespace tcm {
 
 Result<TClosenessReport> EvaluateTCloseness(const Dataset& data,
                                             size_t confidential_offset) {
+  TCM_ASSIGN_OR_RETURN(auto classes, EquivalenceClasses(data));
+  return EvaluateTCloseness(data, classes, confidential_offset);
+}
+
+Result<TClosenessReport> EvaluateTCloseness(
+    const Dataset& data, const std::vector<std::vector<size_t>>& classes,
+    size_t confidential_offset) {
   if (data.schema().ConfidentialIndices().size() <= confidential_offset) {
     return Status::InvalidArgument("confidential attribute not available");
   }
   if (data.NumRecords() < 2) {
     return Status::InvalidArgument("need at least 2 records");
   }
-  TCM_ASSIGN_OR_RETURN(auto classes, EquivalenceClasses(data));
   EmdCalculator emd(data, confidential_offset);
   TClosenessReport report;
   report.num_equivalence_classes = classes.size();
@@ -36,6 +42,15 @@ Result<bool> IsTClose(const Dataset& data, double t,
   TCM_ASSIGN_OR_RETURN(TClosenessReport report,
                        EvaluateTCloseness(data, confidential_offset));
   // Tolerate float round-off in the closed-form EMD.
+  return report.max_emd <= t + 1e-9;
+}
+
+Result<bool> IsTClose(const Dataset& data, double t,
+                      const std::vector<std::vector<size_t>>& classes,
+                      size_t confidential_offset) {
+  TCM_ASSIGN_OR_RETURN(
+      TClosenessReport report,
+      EvaluateTCloseness(data, classes, confidential_offset));
   return report.max_emd <= t + 1e-9;
 }
 

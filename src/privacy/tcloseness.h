@@ -1,6 +1,8 @@
 #ifndef TCM_PRIVACY_TCLOSENESS_H_
 #define TCM_PRIVACY_TCLOSENESS_H_
 
+#include <vector>
+
 #include "common/result.h"
 #include "data/dataset.h"
 
@@ -19,9 +21,20 @@ struct TClosenessReport {
 Result<TClosenessReport> EvaluateTCloseness(const Dataset& data,
                                             size_t confidential_offset = 0);
 
+// Same measurement over precomputed equivalence classes, for callers
+// that already grouped the release (e.g. the verify stage, which shares
+// one EquivalenceClasses pass between the k and t checks). The guards
+// (confidential attribute present, at least 2 records) still apply.
+Result<TClosenessReport> EvaluateTCloseness(
+    const Dataset& data, const std::vector<std::vector<size_t>>& classes,
+    size_t confidential_offset = 0);
+
 // True iff every equivalence class is within EMD `t` of the global
 // confidential distribution (with a small epsilon for float round-off).
 Result<bool> IsTClose(const Dataset& data, double t,
+                      size_t confidential_offset = 0);
+Result<bool> IsTClose(const Dataset& data, double t,
+                      const std::vector<std::vector<size_t>>& classes,
                       size_t confidential_offset = 0);
 
 }  // namespace tcm

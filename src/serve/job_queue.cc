@@ -40,8 +40,11 @@ bool IsTerminalJobState(JobState state) {
          state == JobState::kCancelled;
 }
 
-JobQueue::JobQueue(ThreadPool* pool, size_t max_pending)
-    : pool_(pool), max_pending_(max_pending == 0 ? 1 : max_pending) {
+JobQueue::JobQueue(ThreadPool* pool, size_t max_pending,
+                   size_t max_terminal_jobs)
+    : pool_(pool),
+      max_pending_(max_pending == 0 ? 1 : max_pending),
+      max_terminal_(max_terminal_jobs) {
   TCM_CHECK(pool != nullptr) << "JobQueue requires a ThreadPool";
 }
 
@@ -78,6 +81,8 @@ Result<uint64_t> JobQueue::Submit(JobSpec spec) {
     jobs_.emplace(record->id, record);
     ++active_;
     ++tasks_in_pool_;
+    ++total_submitted_;
+    ++counts_.queued;
     Metrics().IncrementCounter("serve.jobs_submitted");
     Metrics().SetGauge("serve.queue_depth",
                        static_cast<double>(active_ - running_));
@@ -100,6 +105,9 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
     }
     record->state = JobState::kRunning;
     ++running_;
+    TCM_CHECK(counts_.queued > 0) << "job started with no queued count";
+    --counts_.queued;
+    ++counts_.running;
     Metrics().SetGauge("serve.jobs_running", static_cast<double>(running_));
     Metrics().SetGauge("serve.queue_depth",
                        static_cast<double>(active_ - running_));
@@ -130,8 +138,11 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
 
   {
     MutexLock lock(mutex_);
+    TCM_CHECK(counts_.running > 0) << "job finished with no running count";
+    --counts_.running;
     if (outcome.ok()) {
       record->state = JobState::kSucceeded;
+      ++counts_.succeeded;
       // The report JSON never embeds the in-memory release dataset, so
       // the retained document stays small even for large jobs.
       record->report =
@@ -146,8 +157,10 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
       record->state = JobState::kFailed;
       record->error_code = StatusCodeName(outcome.status().code());
       record->error = outcome.status().message();
+      ++counts_.failed;
       Metrics().IncrementCounter("serve.jobs_failed");
     }
+    MarkTerminalLocked(record->id);
     Metrics().Observe("serve.job_latency_seconds", job_seconds);
     TCM_CHECK(active_ > 0) << "job finished with no active count";
     --active_;
@@ -160,22 +173,44 @@ void JobQueue::Execute(const std::shared_ptr<Record>& record) {
   }
 }
 
+void JobQueue::MarkTerminalLocked(uint64_t id) {
+  terminal_order_.push_back(id);
+  if (max_terminal_ == 0) return;
+  while (terminal_order_.size() > max_terminal_) {
+    uint64_t evict = terminal_order_.front();
+    terminal_order_.pop_front();
+    jobs_.erase(evict);
+    Metrics().IncrementCounter("serve.jobs_evicted");
+  }
+}
+
+Status JobQueue::LookupErrorLocked(uint64_t job_id) const {
+  if (job_id >= 1 && job_id < next_id_) {
+    // The id was issued, so its record can only be gone by eviction.
+    return Status::FailedPrecondition(
+        "job " + std::to_string(job_id) +
+        " finished but its record was evicted (terminal-job retention "
+        "cap " + std::to_string(max_terminal_) + "); poll sooner or "
+        "raise the cap");
+  }
+  return Status::NotFound("no job with id " + std::to_string(job_id));
+}
+
 Result<JobSnapshot> JobQueue::Status(uint64_t job_id) const {
   MutexLock lock(mutex_);
   auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
-    return Status::NotFound("no job with id " + std::to_string(job_id));
-  }
+  if (it == jobs_.end()) return LookupErrorLocked(job_id);
   return SnapshotLocked(*it->second);
 }
 
 Result<JobSnapshot> JobQueue::Cancel(uint64_t job_id) {
   MutexLock lock(mutex_);
   auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
-    return Status::NotFound("no job with id " + std::to_string(job_id));
-  }
-  Record& record = *it->second;
+  if (it == jobs_.end()) return LookupErrorLocked(job_id);
+  // Keep the record alive past MarkTerminalLocked, which may evict this
+  // very id from jobs_ when the retention cap is tight.
+  const std::shared_ptr<Record> kept = it->second;
+  Record& record = *kept;
   if (record.state == JobState::kQueued) {
     record.state = JobState::kCancelled;
     // Release the payload like Execute does for run jobs — a cancelled
@@ -184,6 +219,10 @@ Result<JobSnapshot> JobQueue::Cancel(uint64_t job_id) {
     record.spec = JobSpec();
     TCM_CHECK(active_ > 0) << "queued job with no active count";
     --active_;
+    TCM_CHECK(counts_.queued > 0) << "cancelled job with no queued count";
+    --counts_.queued;
+    ++counts_.cancelled;
+    MarkTerminalLocked(record.id);
     Metrics().IncrementCounter("serve.jobs_cancelled");
     Metrics().SetGauge("serve.queue_depth",
                        static_cast<double>(active_ - running_));
@@ -196,9 +235,10 @@ Result<JobSnapshot> JobQueue::WaitForChange(uint64_t job_id,
                                             JobState seen) const {
   MutexLock lock(mutex_);
   auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
-    return Status::NotFound("no job with id " + std::to_string(job_id));
-  }
+  if (it == jobs_.end()) return LookupErrorLocked(job_id);
+  // The shared_ptr keeps the record alive across the wait even if the
+  // retention cap evicts it from jobs_ mid-wait; the caller still gets
+  // the terminal snapshot it was waiting for.
   const std::shared_ptr<Record> record = it->second;
   while (record->state == seen) changed_.Wait(lock);
   return SnapshotLocked(*record);
@@ -211,32 +251,14 @@ size_t JobQueue::pending() const {
 
 size_t JobQueue::total_jobs() const {
   MutexLock lock(mutex_);
-  return jobs_.size();
+  return total_submitted_;
 }
 
 JobStateCounts JobQueue::StateCounts() const {
+  // Maintained at every transition rather than recounted from jobs_, so
+  // the "every job ever seen" meaning survives retention eviction.
   MutexLock lock(mutex_);
-  JobStateCounts counts;
-  for (const auto& entry : jobs_) {
-    switch (entry.second->state) {
-      case JobState::kQueued:
-        ++counts.queued;
-        break;
-      case JobState::kRunning:
-        ++counts.running;
-        break;
-      case JobState::kSucceeded:
-        ++counts.succeeded;
-        break;
-      case JobState::kFailed:
-        ++counts.failed;
-        break;
-      case JobState::kCancelled:
-        ++counts.cancelled;
-        break;
-    }
-  }
-  return counts;
+  return counts_;
 }
 
 void JobQueue::CloseSubmissions() {

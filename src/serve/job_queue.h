@@ -2,6 +2,7 @@
 #define TCM_SERVE_JOB_QUEUE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,9 +62,16 @@ struct JobStateCounts {
 //
 // Backpressure: at most `max_pending` jobs may be queued or running at
 // once; Submit past the bound fails with kFailedPrecondition instead of
-// buffering without limit. Completed jobs are kept for status queries
-// for the lifetime of the queue (bounded-retention eviction is a listed
-// follow-on in ROADMAP.md).
+// buffering without limit.
+//
+// Retention: terminal jobs (succeeded / failed / cancelled) are kept for
+// status queries up to `max_terminal_jobs`; past the cap the oldest-
+// completed record is evicted (serve.jobs_evicted counts them). Queries
+// for an evicted id fail with kFailedPrecondition naming the eviction —
+// distinct from the kNotFound of an id that was never issued — so
+// clients can tell "poll sooner / raise the cap" apart from "wrong id".
+// A cap of 0 means unbounded retention for the queue's lifetime (the
+// embedder default; the tcm_serve daemon bounds it).
 //
 // Observability: every transition publishes into
 // MetricsRegistry::Global() under the serve.* names (jobs_submitted /
@@ -77,8 +85,10 @@ struct JobStateCounts {
 // returns.
 class JobQueue {
  public:
-  // `pool` is borrowed, not owned.
-  JobQueue(ThreadPool* pool, size_t max_pending);
+  // `pool` is borrowed, not owned. `max_terminal_jobs` caps retained
+  // terminal records (0 = keep all).
+  JobQueue(ThreadPool* pool, size_t max_pending,
+           size_t max_terminal_jobs = 0);
 
   // Drains before destruction so no worker task outlives the queue.
   ~JobQueue();
@@ -91,7 +101,8 @@ class JobQueue {
   // worker, so spec errors surface as a kFailed snapshot, not here.
   Result<uint64_t> Submit(JobSpec spec) TCM_EXCLUDES(mutex_);
 
-  // kNotFound for an id never returned by Submit.
+  // kNotFound for an id never returned by Submit; kFailedPrecondition
+  // for one whose terminal record was evicted by the retention cap.
   Result<JobSnapshot> Status(uint64_t job_id) const TCM_EXCLUDES(mutex_);
 
   // Best-effort cancellation: a kQueued job transitions to kCancelled
@@ -146,9 +157,17 @@ class JobQueue {
   JobSnapshot SnapshotLocked(const Record& record) const
       TCM_REQUIRES(mutex_);
   void Execute(const std::shared_ptr<Record>& record) TCM_EXCLUDES(mutex_);
+  // Records `id` as terminal (in completion order) and evicts the
+  // oldest-completed records past the retention cap.
+  void MarkTerminalLocked(uint64_t id) TCM_REQUIRES(mutex_);
+  // The structured error for a lookup that missed jobs_: distinguishes
+  // an evicted id (< next_id_) from one never issued.
+  ::tcm::Status LookupErrorLocked(uint64_t job_id) const
+      TCM_REQUIRES(mutex_);
 
   ThreadPool* pool_;
   const size_t max_pending_;
+  const size_t max_terminal_;  // 0 = unbounded retention
 
   mutable Mutex mutex_;
   mutable CondVar changed_;  // any state transition
@@ -163,6 +182,14 @@ class JobQueue {
   size_t tasks_in_pool_ TCM_GUARDED_BY(mutex_) = 0;
   size_t running_ TCM_GUARDED_BY(mutex_) = 0;
   std::map<uint64_t, std::shared_ptr<Record>> jobs_ TCM_GUARDED_BY(mutex_);
+  // Terminal job ids in completion order: the eviction queue. Its front
+  // is always the oldest-completed record still in jobs_.
+  std::deque<uint64_t> terminal_order_ TCM_GUARDED_BY(mutex_);
+  // Lifetime tallies, maintained at every transition so StateCounts and
+  // total_jobs keep their "every job ever seen" meaning after eviction
+  // removes records from jobs_.
+  uint64_t total_submitted_ TCM_GUARDED_BY(mutex_) = 0;
+  JobStateCounts counts_ TCM_GUARDED_BY(mutex_);
 };
 
 }  // namespace tcm

@@ -17,7 +17,8 @@ namespace tcm {
 
 JobServer::JobServer(ServeOptions options) : options_(std::move(options)) {
   pool_ = std::make_unique<ThreadPool>(options_.threads);
-  queue_ = std::make_unique<JobQueue>(pool_.get(), options_.max_pending);
+  queue_ = std::make_unique<JobQueue>(pool_.get(), options_.max_pending,
+                                      options_.max_terminal_jobs);
 }
 
 JobServer::~JobServer() {

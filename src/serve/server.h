@@ -29,6 +29,13 @@ struct ServeOptions {
   // rejected with kFailedPrecondition.
   size_t max_pending = 64;
 
+  // Retention bound: terminal jobs kept for status queries; the oldest-
+  // completed record is evicted past the cap (queries for it then fail
+  // with kFailedPrecondition naming the eviction). 0 keeps every record
+  // for the daemon's lifetime — an unbounded leak on a long-lived
+  // server, so the daemon defaults to a bound.
+  size_t max_terminal_jobs = 1024;
+
   // Honor the remote "shutdown" verb. Off, the verb is refused with
   // kUnimplemented and only RequestShutdown()/signals stop the daemon.
   bool allow_remote_shutdown = true;

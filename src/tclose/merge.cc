@@ -1,21 +1,45 @@
 #include "tclose/merge.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <iterator>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "distance/emd_bounds.h"
 #include "obs/trace.h"
 
 namespace tcm {
 namespace {
 
-// Live cluster bookkeeping for the merge loop: QI centroid and EMD are
-// kept incrementally so each merge costs O(#clusters + |merged| log).
-struct LiveCluster {
+// One cluster of the repair loop. Alongside rows/centroid it carries the
+// machinery that makes a merge step O(Δ): per-calculator member ranks
+// kept sorted (the cluster's confidential distribution in the closed-form
+// EMD's terms), so merging two clusters is one std::merge and an exact
+// re-evaluation is the O(c) EmdFromSortedRanks instead of the
+// gather-and-sort ClusterEmd pays from scratch.
+struct ClusterState {
+  // How `emd` relates to the cluster's true worst EMD. kUpper is only
+  // stored when the bound already meets t (the cluster is proven safe);
+  // kLower only when the bound exceeds t (proven violating).
+  enum class Kind : uint8_t { kExact, kUpper, kLower };
+
   Cluster rows;
   std::vector<double> centroid;  // QI centroid (mean of member points)
   double emd = 0.0;
-  bool alive = true;
+  Kind kind = Kind::kExact;
+  std::vector<std::vector<uint32_t>> ranks;  // per calculator, ascending
+};
+
+// Per-engine-run tallies, merged into MergeStats by the callers.
+struct EngineCounters {
+  size_t merges = 0;
+  size_t candidate_checks = 0;
+  size_t pruned_checks = 0;
+  size_t exact_checks = 0;
 };
 
 std::vector<double> WeightedCentroid(const std::vector<double>& a, size_t na,
@@ -38,7 +62,207 @@ double CentroidSquaredDistance(const std::vector<double>& a,
   return sum;
 }
 
+double ExactWorstEmd(const ClusterState& state,
+                     const std::vector<const EmdCalculator*>& emds) {
+  double worst = 0.0;
+  for (size_t j = 0; j < emds.size(); ++j) {
+    worst = std::max(worst, emds[j]->EmdFromSortedRanks(state.ranks[j]));
+  }
+  return worst;
+}
+
+// Builds the engine's working set from an initial partition. With
+// `prune_init` (hierarchical engine only), a cluster small enough that
+// even the best-placed cluster of its size violates t — MinClusterEmd,
+// Prop. 1 — is marked a proven violator without an exact evaluation.
+std::vector<ClusterState> InitStates(
+    const QiSpace& space, const std::vector<const EmdCalculator*>& emds,
+    double t, bool prune_init, Partition initial, EngineCounters* counters) {
+  const size_t n = space.num_records();
+  std::vector<ClusterState> states;
+  states.reserve(initial.clusters.size());
+  for (Cluster& cluster : initial.clusters) {
+    ClusterState state;
+    state.centroid = space.Centroid(cluster);
+    state.ranks.resize(emds.size());
+    for (size_t j = 0; j < emds.size(); ++j) {
+      std::vector<uint32_t>& ranks = state.ranks[j];
+      ranks.reserve(cluster.size());
+      for (size_t row : cluster) ranks.push_back(emds[j]->RankOf(row));
+      std::sort(ranks.begin(), ranks.end());
+    }
+    ++counters->candidate_checks;
+    double lower = n > 1 ? MinClusterEmd(n, cluster.size()) : 0.0;
+    if (prune_init && lower > t) {
+      state.emd = lower;
+      state.kind = ClusterState::Kind::kLower;
+      ++counters->pruned_checks;
+    } else {
+      state.emd = ExactWorstEmd(state, emds);
+      state.kind = ClusterState::Kind::kExact;
+      ++counters->exact_checks;
+    }
+    state.rows = std::move(cluster);
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+// The sequential repair loop over one working set, compacted so every
+// scan is O(alive): a merged-away cluster is erased from the vector
+// rather than tombstoned (the pre-compaction engine rescanned every dead
+// slot each round — 832 rounds × the full initial cluster count on the
+// 1M-row bench). Erasure preserves relative order, and the merge target
+// stays in place, so the worst-first / nearest-partner tie-breaks match
+// the historical slot-order semantics exactly; with pruning off the
+// partition bytes are identical to the legacy engine's.
+//
+// Pruning (when enabled) answers checks from the closed-form bounds: a
+// fresh merger of two non-lower-bounded clusters whose
+// MixtureEmdUpperBound already meets t is proven safe with no exact
+// evaluation. Only values above t compete in the worst-cluster scan and
+// every such value is exact or a lower bound of a proven violator, so
+// pruning never changes which cluster is selected.
+void RunEngine(const std::vector<const EmdCalculator*>& emds, double t,
+               bool prune, std::vector<ClusterState>* states,
+               EngineCounters* counters) {
+  std::vector<ClusterState>& live = *states;
+  while (live.size() > 1) {
+    // Cluster farthest from satisfying t-closeness.
+    size_t worst = live.size();
+    double worst_emd = t;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i].emd > worst_emd) {
+        worst_emd = live[i].emd;
+        worst = i;
+      }
+    }
+    if (worst == live.size()) break;  // every cluster is t-close
+
+    // One span per merge round: sequential-tail pressure shows up in
+    // traces as individually measurable slices, and span count equals
+    // the engine's merge tally. Costs one relaxed atomic load per round
+    // when tracing is off.
+    TraceSpan round_span("merge_round");
+
+    // Nearest other cluster in QI centroid distance.
+    size_t partner = live.size();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (i == worst) continue;
+      double dist =
+          CentroidSquaredDistance(live[worst].centroid, live[i].centroid);
+      if (dist < best_dist) {
+        best_dist = dist;
+        partner = i;
+      }
+    }
+    TCM_DCHECK_LT(partner, live.size());
+
+    ClusterState& dst = live[worst];
+    ClusterState& src = live[partner];
+    const size_t dst_size = dst.rows.size();
+    const size_t src_size = src.rows.size();
+    dst.centroid =
+        WeightedCentroid(dst.centroid, dst_size, src.centroid, src_size);
+    dst.rows.insert(dst.rows.end(), src.rows.begin(), src.rows.end());
+    for (size_t j = 0; j < emds.size(); ++j) {
+      std::vector<uint32_t> merged;
+      merged.reserve(dst.ranks[j].size() + src.ranks[j].size());
+      std::merge(dst.ranks[j].begin(), dst.ranks[j].end(),
+                 src.ranks[j].begin(), src.ranks[j].end(),
+                 std::back_inserter(merged));
+      dst.ranks[j] = std::move(merged);
+    }
+    ++counters->candidate_checks;
+    bool pruned = false;
+    if (prune && dst.kind != ClusterState::Kind::kLower &&
+        src.kind != ClusterState::Kind::kLower) {
+      // Both inputs are exact values or upper bounds, so the mixture
+      // bound is a sound upper bound for the union.
+      double upper =
+          MixtureEmdUpperBound(dst_size, dst.emd, src_size, src.emd);
+      if (upper <= t) {
+        dst.emd = upper;
+        dst.kind = ClusterState::Kind::kUpper;
+        ++counters->pruned_checks;
+        pruned = true;
+      }
+    }
+    if (!pruned) {
+      dst.emd = ExactWorstEmd(dst, emds);
+      dst.kind = ClusterState::Kind::kExact;
+      ++counters->exact_checks;
+    }
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(partner));
+    ++counters->merges;
+  }
+}
+
+Partition FinishStates(std::vector<ClusterState> states, double* max_emd) {
+  Partition out;
+  out.clusters.reserve(states.size());
+  *max_emd = 0.0;
+  for (ClusterState& state : states) {
+    *max_emd = std::max(*max_emd, state.emd);
+    out.clusters.push_back(std::move(state.rows));
+  }
+  return out;
+}
+
+void AddCounters(const EngineCounters& from, MergeStats* into) {
+  into->merges += from.merges;
+  into->candidate_checks += from.candidate_checks;
+  into->pruned_checks += from.pruned_checks;
+  into->exact_checks += from.exact_checks;
+}
+
+// Number of hierarchical subtrees for `num_clusters` clusters over
+// `num_rows` rows. Deliberately a pure function of the data and options —
+// never of the pool's thread count — so a release is reproducible at any
+// parallelism. Each subtree must hold enough rows to form several t-close
+// clusters of the paper's minimum size (Eq. 3 RequiredClusterSize,
+// adjusted per Eq. 4), and enough clusters that the fan-out overhead is
+// worth paying.
+size_t PickSubtreeCount(size_t num_rows, size_t num_clusters, double t,
+                        const MergeOptions& options) {
+  constexpr size_t kMinSubtreeClusters = 64;
+  constexpr size_t kDefaultMaxSubtrees = 16;
+  constexpr size_t kTargetClustersPerSubtree = 8;
+  if (num_rows < 2 || num_clusters < 2 * kMinSubtreeClusters) return 1;
+  size_t min_rows = options.min_subtree_rows;
+  if (min_rows == 0) {
+    size_t k_star = AdjustClusterSizeForRemainder(
+        num_rows, RequiredClusterSize(num_rows, 1, t));
+    min_rows = kTargetClustersPerSubtree * std::max<size_t>(1, k_star);
+  }
+  size_t cap = options.max_subtrees == 0 ? kDefaultMaxSubtrees
+                                         : options.max_subtrees;
+  size_t by_rows = num_rows / std::max<size_t>(1, min_rows);
+  size_t by_clusters = num_clusters / kMinSubtreeClusters;
+  size_t subtrees = std::min({by_rows, by_clusters, cap});
+  return std::max<size_t>(1, subtrees);
+}
+
 }  // namespace
+
+const char* MergeStrategyName(MergeStrategy strategy) {
+  switch (strategy) {
+    case MergeStrategy::kSequential:
+      return "sequential";
+    case MergeStrategy::kHierarchical:
+      return "hierarchical";
+  }
+  return "unknown";
+}
+
+Result<MergeStrategy> ParseMergeStrategy(const std::string& name) {
+  if (name == "sequential") return MergeStrategy::kSequential;
+  if (name == "hierarchical") return MergeStrategy::kHierarchical;
+  return Status::InvalidArgument(
+      "merge strategy must be \"sequential\" or \"hierarchical\", got \"" +
+      name + "\"");
+}
 
 Result<Partition> MergeUntilTClose(const QiSpace& space,
                                    const EmdCalculator& emd, double t,
@@ -49,88 +273,108 @@ Result<Partition> MergeUntilTClose(const QiSpace& space,
 Result<Partition> MergeUntilTCloseMulti(
     const QiSpace& space, const std::vector<const EmdCalculator*>& emds,
     double t, Partition initial, MergeStats* stats) {
+  return MergeUntilTCloseWith(space, emds, t, std::move(initial),
+                              MergeOptions{}, stats);
+}
+
+Result<Partition> MergeUntilTCloseWith(
+    const QiSpace& space, const std::vector<const EmdCalculator*>& emds,
+    double t, Partition initial, const MergeOptions& options,
+    MergeStats* stats) {
   TCM_RETURN_IF_ERROR(
       ValidatePartition(initial, space.num_records(), /*min_cluster_size=*/1));
   if (t < 0.0) return Status::InvalidArgument("t must be non-negative");
   if (emds.empty()) {
     return Status::InvalidArgument("need at least one EMD calculator");
   }
-  auto worst_emd_of = [&emds](const Cluster& cluster) {
-    double worst = 0.0;
-    for (const EmdCalculator* emd : emds) {
-      worst = std::max(worst, emd->ClusterEmd(cluster));
-    }
-    return worst;
-  };
 
-  std::vector<LiveCluster> live;
-  live.reserve(initial.clusters.size());
-  for (Cluster& cluster : initial.clusters) {
-    LiveCluster lc;
-    lc.centroid = space.Centroid(cluster);
-    lc.emd = worst_emd_of(cluster);
-    lc.rows = std::move(cluster);
-    live.push_back(std::move(lc));
+  MergeStats local;
+  const bool hierarchical =
+      options.strategy == MergeStrategy::kHierarchical;
+  const size_t subtrees =
+      hierarchical ? PickSubtreeCount(space.num_records(),
+                                      initial.clusters.size(), t, options)
+                   : 1;
+
+  EngineCounters init_counters;
+  std::vector<ClusterState> states =
+      InitStates(space, emds, t, /*prune_init=*/hierarchical && options.prune,
+                 std::move(initial), &init_counters);
+
+  EngineCounters tail_counters;
+  if (subtrees > 1) {
+    // Carve the working set into contiguous, balanced slices. Each task
+    // owns its slice outright, so subtree repairs share nothing mutable
+    // and completion order cannot affect the result.
+    local.num_subtrees = subtrees;
+    std::vector<std::vector<ClusterState>> slices(subtrees);
+    const size_t base = states.size() / subtrees;
+    const size_t extra = states.size() % subtrees;
+    size_t next = 0;
+    for (size_t s = 0; s < subtrees; ++s) {
+      size_t take = base + (s < extra ? 1 : 0);
+      auto first = states.begin() + static_cast<std::ptrdiff_t>(next);
+      auto last = first + static_cast<std::ptrdiff_t>(take);
+      slices[s].assign(std::make_move_iterator(first),
+                       std::make_move_iterator(last));
+      next += take;
+    }
+    states.clear();
+
+    std::vector<EngineCounters> slice_counters(subtrees);
+    auto run_slice = [&emds, t, &options, &slices,
+                      &slice_counters](size_t s) {
+      TraceSpan span("merge_subtree");
+      RunEngine(emds, t, options.prune, &slices[s], &slice_counters[s]);
+    };
+    if (options.pool != nullptr) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(subtrees);
+      for (size_t s = 0; s < subtrees; ++s) {
+        futures.push_back(
+            options.pool->Submit([&run_slice, s]() { run_slice(s); }));
+      }
+      // Collect in submission order, lending this thread to the pool
+      // while any subtree is still pending so a small pool (or one
+      // already busy with other work) cannot stall the join.
+      for (std::future<void>& future : futures) {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+          if (!options.pool->TryRunOneTask()) {
+            future.wait();
+          }
+        }
+        future.get();
+      }
+    } else {
+      for (size_t s = 0; s < subtrees; ++s) run_slice(s);
+    }
+
+    // Stitch the surviving clusters back together in subtree order and
+    // run the global tail: stored EMDs and sorted ranks carry over, so
+    // the tail pays no re-initialization.
+    for (size_t s = 0; s < subtrees; ++s) {
+      AddCounters(slice_counters[s], &local);
+      local.subtree_merges += slice_counters[s].merges;
+      states.insert(states.end(),
+                    std::make_move_iterator(slices[s].begin()),
+                    std::make_move_iterator(slices[s].end()));
+      slices[s].clear();
+    }
+    TraceSpan tail_span("merge_tail");
+    RunEngine(emds, t, options.prune, &states, &tail_counters);
+  } else {
+    RunEngine(emds, t, options.prune, &states, &tail_counters);
   }
 
-  size_t merges = 0;
-  size_t alive_count = live.size();
-  while (alive_count > 1) {
-    // Cluster farthest from satisfying t-closeness.
-    size_t worst = live.size();
-    double worst_emd = t;
-    for (size_t i = 0; i < live.size(); ++i) {
-      if (live[i].alive && live[i].emd > worst_emd) {
-        worst_emd = live[i].emd;
-        worst = i;
-      }
-    }
-    if (worst == live.size()) break;  // every cluster is t-close
+  AddCounters(init_counters, &local);
+  AddCounters(tail_counters, &local);
+  local.tail_merges = tail_counters.merges;
 
-    // One span per merge round: the sequential tail that caps thread
-    // scaling (832 rounds on the 1M-row bench) shows up in traces as
-    // individually measurable slices, and span count equals
-    // MergeStats::merges. Costs one relaxed atomic load per round when
-    // tracing is off.
-    TraceSpan round_span("merge_round");
-
-    // Nearest alive cluster in QI centroid distance.
-    size_t partner = live.size();
-    double best_dist = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < live.size(); ++i) {
-      if (i == worst || !live[i].alive) continue;
-      double dist =
-          CentroidSquaredDistance(live[worst].centroid, live[i].centroid);
-      if (dist < best_dist) {
-        best_dist = dist;
-        partner = i;
-      }
-    }
-    TCM_DCHECK_LT(partner, live.size());
-
-    LiveCluster& dst = live[worst];
-    LiveCluster& src = live[partner];
-    dst.centroid = WeightedCentroid(dst.centroid, dst.rows.size(),
-                                    src.centroid, src.rows.size());
-    dst.rows.insert(dst.rows.end(), src.rows.begin(), src.rows.end());
-    dst.emd = worst_emd_of(dst.rows);
-    src.alive = false;
-    src.rows.clear();
-    --alive_count;
-    ++merges;
-  }
-
-  Partition out;
   double max_emd = 0.0;
-  for (LiveCluster& lc : live) {
-    if (!lc.alive) continue;
-    max_emd = std::max(max_emd, lc.emd);
-    out.clusters.push_back(std::move(lc.rows));
-  }
-  if (stats != nullptr) {
-    stats->merges = merges;
-    stats->final_max_emd = max_emd;
-  }
+  Partition out = FinishStates(std::move(states), &max_emd);
+  local.final_max_emd = max_emd;
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

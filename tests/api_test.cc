@@ -57,6 +57,8 @@ TEST(JobSpecJsonTest, FullSpecRoundTrips) {
   spec.execution.threads = 4;
   spec.execution.shard_size = 512;
   spec.execution.max_resident_rows = 5000;
+  spec.execution.merge_strategy = MergeStrategy::kHierarchical;
+  spec.execution.overlap_io = true;
   spec.verify = false;
   spec.output.release_path = "out.csv";
   spec.output.report_path = "report.json";
@@ -76,6 +78,8 @@ TEST(JobSpecJsonTest, FullSpecRoundTrips) {
   EXPECT_EQ(parsed->execution.threads, 4u);
   EXPECT_EQ(parsed->execution.shard_size, 512u);
   EXPECT_EQ(parsed->execution.max_resident_rows, 5000u);
+  EXPECT_EQ(parsed->execution.merge_strategy, MergeStrategy::kHierarchical);
+  EXPECT_TRUE(parsed->execution.overlap_io);
   EXPECT_FALSE(parsed->verify);
   EXPECT_EQ(parsed->output.release_path, "out.csv");
   EXPECT_EQ(parsed->output.report_path, "report.json");
@@ -182,6 +186,13 @@ TEST(JobSpecJsonTest, RejectionCorpus) {
            "execution": {"mode": "streaming"},
            "sweep": {"ks": [3]}})",
        "in-memory"},
+      {R"({"execution": {"merge_strategy": "turbo"}})",
+       "execution.merge_strategy"},
+      {R"({"execution": {"merge_strategy": 3}})",
+       "execution.merge_strategy"},
+      {R"({"input": {"kind": "synthetic"},
+           "execution": {"mode": "in_memory", "overlap_io": true}})",
+       "overlap_io"},
       // Not JSON at all.
       {"not json", "not valid JSON"},
       {R"({"version": 1,})", "not valid JSON"},

@@ -6,10 +6,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -240,6 +242,51 @@ TEST(ShardPlanTest, DegeneratesToOneShard) {
   // Tiny shards are clamped so each keeps >= 3k rows.
   ShardPlan tiny = MakeShardPlan(100, 2, 10);
   for (const auto& shard : tiny.shards) EXPECT_GE(shard.size(), 30u);
+}
+
+// Round-to-nearest shard count: just under a power-of-two boundary must
+// split, not fall back to one oversized shard (8191 @ 4096 was the
+// motivating regression — it ran as a single 8191-row shard).
+TEST(ShardPlanTest, RoundsShardCountToNearest) {
+  EXPECT_EQ(MakeShardPlan(8191, 4096, 5).NumShards(), 2u);
+  EXPECT_EQ(MakeShardPlan(8193, 4096, 5).NumShards(), 2u);
+  // Below the midpoint the single shard is genuinely closer to target.
+  EXPECT_EQ(MakeShardPlan(6000, 4096, 5).NumShards(), 1u);
+  // At the midpoint and above, round up.
+  EXPECT_EQ(MakeShardPlan(6144, 4096, 5).NumShards(), 2u);
+  // Rounding never violates the 3k-per-shard floor.
+  ShardPlan clamped = MakeShardPlan(70, 32, 10);
+  for (const auto& shard : clamped.shards) EXPECT_GE(shard.size(), 30u);
+}
+
+// TryRunOneTask lets a thread waiting on subtree futures steal queued
+// work instead of blocking — it must run exactly one task when one is
+// queued and report false on an empty queue without blocking.
+TEST(ThreadPoolTest, TryRunOneTaskDrainsQueuedWork) {
+  ThreadPool pool(1);
+  // Park the single worker so submitted tasks stay queued. Wait until
+  // the worker actually holds the gate task — otherwise the stealing
+  // thread below could grab it and block on the gate itself.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> parked{false};
+  pool.Submit([gate, &parked]() {
+    parked.store(true);
+    gate.wait();
+  });
+  while (!parked.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&ran]() { ran.fetch_add(1); });
+  }
+  // The caller thread steals the queued tasks one at a time.
+  EXPECT_TRUE(pool.TryRunOneTask());
+  EXPECT_TRUE(pool.TryRunOneTask());
+  EXPECT_TRUE(pool.TryRunOneTask());
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_FALSE(pool.TryRunOneTask());  // queue empty: returns immediately
+  release.set_value();
+  pool.WaitAll();
 }
 
 // ---------------------------------------------------------------- Sharded

@@ -314,6 +314,78 @@ TEST(ServeBasicsTest, StatusOfUnknownJobIsNotFound) {
   EXPECT_EQ(EventCode(event), "NotFound");
 }
 
+// Bounded terminal retention on the standalone queue: past the cap the
+// oldest-completed record is evicted, queries for it fail with
+// kFailedPrecondition (distinct from the kNotFound of a never-issued
+// id), and the lifetime tallies keep counting evicted jobs.
+TEST(JobQueueTest, TerminalRetentionEvictsOldestCompleted) {
+  ThreadPool pool(1);
+  JobQueue queue(&pool, 8, /*max_terminal_jobs=*/2);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = queue.Submit(UniformSpec(/*seed=*/40 + i, /*rows=*/60));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  // One worker: jobs finish in submission order, so job 1 is the oldest
+  // completion and the one eviction removes.
+  queue.Drain();
+
+  auto evicted = queue.Status(ids[0]);
+  ASSERT_FALSE(evicted.ok());
+  EXPECT_EQ(evicted.status().code(), StatusCode::kFailedPrecondition)
+      << evicted.status().ToString();
+  EXPECT_EQ(queue.Status(ids[1])->state, JobState::kSucceeded);
+  EXPECT_EQ(queue.Status(ids[2])->state, JobState::kSucceeded);
+
+  auto unknown = queue.Status(999);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // The tallies still cover every job ever seen, not just retained ones.
+  EXPECT_EQ(queue.total_jobs(), 3u);
+  EXPECT_EQ(queue.StateCounts().succeeded, 3u);
+}
+
+// The same contract over the wire against a live daemon: with a
+// retention cap of 1, the second completion evicts the first job's
+// record. Its status is a FailedPrecondition error event while a
+// never-issued id stays NotFound, so clients can tell "evicted" apart
+// from "wrong id".
+TEST(ServeSubmitTest, EvictedJobStatusIsDistinctFromUnknown) {
+  ServeOptions options;
+  options.threads = 1;
+  options.max_terminal_jobs = 1;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = ConnectOrDie(server);
+
+  auto first = client.SubmitAndWait(
+      UniformSpec(/*seed=*/7, /*rows=*/120).ToJson());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(EventState(*first), "succeeded");
+  const uint64_t first_id = EventJob(*first);
+  ASSERT_GT(first_id, 0u);
+
+  auto second = client.SubmitAndWait(
+      UniformSpec(/*seed=*/8, /*rows=*/120).ToJson());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(EventState(*second), "succeeded");
+  const uint64_t second_id = EventJob(*second);
+
+  JsonValue evicted = QueryStatus(&client, first_id);
+  EXPECT_EQ(EventName(evicted), "error");
+  EXPECT_EQ(EventCode(evicted), "FailedPrecondition");
+
+  JsonValue kept = QueryStatus(&client, second_id);
+  EXPECT_EQ(EventName(kept), "state");
+  EXPECT_EQ(EventState(kept), "succeeded");
+
+  JsonValue unknown = QueryStatus(&client, 999);
+  EXPECT_EQ(EventName(unknown), "error");
+  EXPECT_EQ(EventCode(unknown), "NotFound");
+}
+
 TEST(ServeSubmitTest, WaitedSubmitStreamsToSuccess) {
   ServeOptions options;
   options.threads = 2;

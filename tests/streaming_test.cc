@@ -318,6 +318,72 @@ TEST(StreamingPipelineRunnerTest, MultiWindowReleaseIsThreadInvariant) {
   }
 }
 
+// Pipelined I/O: with overlap_io the reads of windows 2..N run on the
+// pool while earlier windows are processed. The resident budget still
+// holds (the window target is halved to leave room for the read-ahead),
+// both guarantees verify, and the release stays byte-identical for any
+// thread count — including one thread, where the "prefetch" is stolen
+// back and run inline.
+TEST(StreamingPipelineRunnerTest, OverlapIoStaysBoundedAndDeterministic) {
+  constexpr size_t kRows = 3000;
+  constexpr size_t kBudget = 700;
+  StreamingSpec spec = BaseSpec();
+  spec.max_resident_rows = kBudget;
+  spec.overlap_io = true;
+  std::string reference;
+  for (size_t threads : {1u, 2u, 4u}) {
+    auto source = MakeUniformSource(kRows, 3, 42);
+    const std::string out_path =
+        TempPath("stream_overlap_" + std::to_string(threads) + ".csv");
+    spec.output_path = out_path;
+    StreamingPipelineRunner runner(threads);
+    auto report = runner.Run(source.get(), spec);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->total_rows, kRows);
+    EXPECT_LE(report->peak_resident_rows, kBudget);
+    EXPECT_GT(report->num_windows, 1u);
+    EXPECT_GT(report->overlapped_reads, 0u);
+    EXPECT_TRUE(report->k_verified);
+    EXPECT_TRUE(report->t_verified);
+    std::string bytes = ReadFileBytes(out_path);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << threads << " threads";
+    }
+  }
+
+  // The legacy serial path is untouched: overlap off reports no
+  // overlapped reads (and the existing byte-pinning tests above cover
+  // its output).
+  auto source = MakeUniformSource(kRows, 3, 42);
+  StreamingSpec serial = BaseSpec();
+  serial.max_resident_rows = kBudget;
+  StreamingPipelineRunner runner(2);
+  auto report = runner.Run(source.get(), serial);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->overlapped_reads, 0u);
+}
+
+// Hierarchical repair inside windows composes with streaming: verdicts
+// hold per window and the merge ledger balances across the whole run.
+TEST(StreamingPipelineRunnerTest, HierarchicalMergeComposesWithWindows) {
+  auto source = MakeUniformSource(2400, 3, 21);
+  StreamingSpec spec = BaseSpec();
+  spec.max_resident_rows = 800;
+  spec.shard_size = 120;
+  spec.merge_strategy = MergeStrategy::kHierarchical;
+  StreamingPipelineRunner runner(2);
+  auto report = runner.Run(source.get(), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->k_verified);
+  EXPECT_TRUE(report->t_verified);
+  EXPECT_EQ(report->candidate_checks,
+            report->pruned_checks + report->exact_checks);
+  EXPECT_EQ(report->subtree_merges + report->tail_merges,
+            report->final_merges);
+}
+
 TEST(StreamingPipelineRunnerTest, TailSmallerThanKJoinsFinalWindow) {
   // 104-row budget with k=4 gives 100-row fill targets; 302 rows leave a
   // 2-row tail that cannot be anonymized alone and must join the last

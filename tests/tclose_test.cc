@@ -105,6 +105,73 @@ TEST(MergeTest, RejectsInvalidInputs) {
   EXPECT_FALSE(MergeUntilTClose(space, emd, -0.5, *initial).ok());
 }
 
+// Pin for the compacted merge loop: every merge removes exactly one live
+// cluster, so the cluster-count delta must equal the reported merge count
+// for any t. A compaction bug that dropped or double-counted a slot would
+// break this ledger before it broke a verdict.
+TEST(MergeTest, MergeCountMatchesClusterCountDelta) {
+  Dataset data = MakeMcdDataset();
+  QiSpace space(data);
+  EmdCalculator emd(data);
+  auto initial = Mdav(space, 4);
+  ASSERT_TRUE(initial.ok());
+  for (double t : {0.02, 0.05, 0.1, 0.3}) {
+    MergeStats stats;
+    auto merged = MergeUntilTClose(space, emd, t, *initial, &stats);
+    ASSERT_TRUE(merged.ok()) << "t=" << t;
+    EXPECT_EQ(initial->NumClusters() - merged->NumClusters(), stats.merges)
+        << "t=" << t;
+    EXPECT_EQ(stats.candidate_checks, stats.pruned_checks + stats.exact_checks)
+        << "t=" << t;
+  }
+}
+
+// The hierarchical engine with bound pruning delivers the same guarantees
+// as the sequential loop, whether the subtrees run on a pool or inline
+// (pool == nullptr), and the partition is identical in both cases: the
+// subtree layout is a function of the data, never of the executor.
+TEST(MergeTest, HierarchicalMatchesSequentialGuarantees) {
+  Dataset data = MakeUniformDataset(600, 2, 11);
+  QiSpace space(data);
+  EmdCalculator emd(data);
+  auto initial = Mdav(space, 3);
+  ASSERT_TRUE(initial.ok());
+  const double t = 0.08;
+
+  auto sequential = MergeUntilTClose(space, emd, t, *initial);
+  ASSERT_TRUE(sequential.ok());
+
+  MergeOptions options;
+  options.strategy = MergeStrategy::kHierarchical;
+  options.prune = true;
+  ThreadPool pool(4);
+  options.pool = &pool;
+  MergeStats pooled_stats;
+  auto pooled = MergeUntilTCloseWith(space, {&emd}, t, *initial, options,
+                                     &pooled_stats);
+  ASSERT_TRUE(pooled.ok());
+
+  options.pool = nullptr;  // inline subtree execution
+  MergeStats inline_stats;
+  auto inlined = MergeUntilTCloseWith(space, {&emd}, t, *initial, options,
+                                      &inline_stats);
+  ASSERT_TRUE(inlined.ok());
+
+  EXPECT_EQ(pooled->clusters, inlined->clusters);
+  EXPECT_EQ(pooled_stats.merges, inline_stats.merges);
+  EXPECT_EQ(pooled_stats.num_subtrees, inline_stats.num_subtrees);
+  EXPECT_EQ(pooled_stats.subtree_merges + pooled_stats.tail_merges,
+            pooled_stats.merges);
+  EXPECT_EQ(pooled_stats.candidate_checks,
+            pooled_stats.pruned_checks + pooled_stats.exact_checks);
+
+  // Same guarantee, independently of which engine produced the partition.
+  EXPECT_LE(MaxClusterEmd(emd, *sequential), t + 1e-12);
+  EXPECT_LE(MaxClusterEmd(emd, *pooled), t + 1e-12);
+  EXPECT_TRUE(
+      ValidatePartition(*pooled, data.NumRecords(), /*min_size=*/1).ok());
+}
+
 // ------------------------------------------- Algorithm 2 (k-anon-first)
 
 TEST(KAnonFirstTest, PartitionIsKAnonymousEvenWithoutMerge) {

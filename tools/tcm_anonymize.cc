@@ -5,7 +5,8 @@
 //   tcm_anonymize --input data.csv --output release.csv
 //       --qi age,zipcode --confidential salary
 //       --k 5 --t 0.1 [--algorithm NAME] [--threads N] [--shard-size N]
-//       [--seed N] [--stream] [--max-resident-rows N] [--report]
+//       [--seed N] [--merge-strategy sequential|hierarchical]
+//       [--stream] [--max-resident-rows N] [--overlap-io] [--report]
 //       [--report-json FILE] [--trace-out FILE] [--list-algorithms]
 //
 // --job loads a versioned JobSpec from JSON (schema documented in
@@ -15,8 +16,13 @@
 // --job, the input must be a numeric CSV with a header row; --qi names
 // become quasi-identifiers and --confidential drives t-closeness.
 // --algorithm takes any registry name (see --list-algorithms), --stream
-// switches to the bounded-memory out-of-core engine, and --report-json
-// writes the machine-readable RunReport. --trace-out records one
+// switches to the bounded-memory out-of-core engine,
+// --merge-strategy hierarchical runs the parallel subtree repair pass
+// with EMD-bound pruning (deterministic at any thread count, different
+// release bytes than the sequential default), --overlap-io overlaps the
+// next window's read with the current window's processing (streaming
+// only), and --report-json writes the machine-readable RunReport.
+// --trace-out records one
 // Chrome trace-event JSON file of the run's stage spans (load, shard,
 // per-shard anonymize, each MergeUntilTClose round, verify, write) —
 // open it in chrome://tracing or https://ui.perfetto.dev. The release is byte-identical
@@ -54,7 +60,8 @@ constexpr char kUsage[] =
     "                     [--qi A,B,...] [--confidential C]\n"
     "                     [--k N] [--t X] [--algorithm NAME]\n"
     "                     [--threads N] [--shard-size N] [--seed N]\n"
-    "                     [--stream] [--max-resident-rows N]\n"
+    "                     [--merge-strategy sequential|hierarchical]\n"
+    "                     [--stream] [--max-resident-rows N] [--overlap-io]\n"
     "                     [--report] [--report-json FILE]\n"
     "                     [--trace-out FILE] [--list-algorithms]\n"
     "       tcm_anonymize --audit FILE --qi A,B,... --confidential C\n"
@@ -110,6 +117,11 @@ void PrintReport(const tcm::JobSpec& spec, const tcm::RunReport& report) {
   }
   std::printf("shards             : %zu (merges to restore t: %zu)\n",
               report.num_shards, report.final_merges);
+  std::printf("merge strategy     : %s (subtrees %zu, pruned %zu/%zu "
+              "checks)\n",
+              tcm::MergeStrategyName(report.merge_strategy),
+              report.merge_subtrees, report.pruned_checks,
+              report.candidate_checks);
   if (!streamed) {
     std::printf("clusters           : %zu\n", report.clusters);
     std::printf("cluster size       : min=%zu avg=%.2f max=%zu\n",
@@ -168,10 +180,12 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string audit_path;
   std::vector<std::string> qi;
+  std::string merge_strategy;
   size_t k = 0, threads = 0, shard_size = 0, max_resident_rows = 0;
   uint64_t seed = 0;
   double t = 0.0;
-  bool stream = false, report_flag = false, list_algorithms = false;
+  bool stream = false, overlap_io = false;
+  bool report_flag = false, list_algorithms = false;
 
   tcm::tools::ArgParser parser(kUsage);
   parser.AddString("--job", &job_path);
@@ -186,8 +200,10 @@ int main(int argc, char** argv) {
   parser.AddSize("--threads", &threads);
   parser.AddSize("--shard-size", &shard_size);
   parser.AddUint64("--seed", &seed);
+  parser.AddString("--merge-strategy", &merge_strategy);
   parser.AddFlag("--stream", &stream);
   parser.AddSize("--max-resident-rows", &max_resident_rows);
+  parser.AddFlag("--overlap-io", &overlap_io);
   parser.AddFlag("--report", &report_flag);
   parser.AddString("--report-json", &report_json);
   parser.AddString("--trace-out", &trace_out);
@@ -206,8 +222,9 @@ int main(int argc, char** argv) {
     // philosophy applies across modes too).
     for (const char* flag :
          {"--job", "--input", "--output", "--algorithm", "--threads",
-          "--shard-size", "--seed", "--stream", "--max-resident-rows",
-          "--report", "--report-json", "--trace-out"}) {
+          "--shard-size", "--seed", "--merge-strategy", "--stream",
+          "--max-resident-rows", "--overlap-io", "--report",
+          "--report-json", "--trace-out"}) {
       if (parser.Seen(flag)) {
         std::fprintf(stderr, "%s does not apply to --audit mode\n%s", flag,
                      kUsage);
@@ -251,12 +268,22 @@ int main(int argc, char** argv) {
   if (parser.Seen("--seed")) spec.algorithm.seed = seed;
   if (parser.Seen("--threads")) spec.execution.threads = threads;
   if (parser.Seen("--shard-size")) spec.execution.shard_size = shard_size;
+  if (parser.Seen("--merge-strategy")) {
+    auto parsed = tcm::ParseMergeStrategy(merge_strategy);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--merge-strategy: %s\n%s",
+                   parsed.status().message().c_str(), kUsage);
+      return tcm::tools::kExitUsage;
+    }
+    spec.execution.merge_strategy = *parsed;
+  }
   if (parser.Seen("--stream")) {
     spec.execution.mode = tcm::ExecutionMode::kStreaming;
   }
   if (parser.Seen("--max-resident-rows")) {
     spec.execution.max_resident_rows = max_resident_rows;
   }
+  if (parser.Seen("--overlap-io")) spec.execution.overlap_io = true;
 
   // Without a job file the classic required flags still apply, so the
   // historical CLI contract is unchanged.

@@ -43,7 +43,7 @@ namespace {
 constexpr char kUsage[] =
     "usage: tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]\n"
     "                 [--threads N] [--max-pending N]\n"
-    "                 [--no-remote-shutdown]\n"
+    "                 [--max-terminal-jobs N] [--no-remote-shutdown]\n"
     "                 [--log-level debug|info|warn|error|off]\n";
 
 // Self-pipe: the handler only writes a byte (async-signal-safe); a
@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string port_file, log_level;
   size_t port = 0, threads = 0, max_pending = 64;
+  size_t max_terminal_jobs = 1024;
   bool no_remote_shutdown = false;
 
   tcm::tools::ArgParser parser(kUsage);
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   parser.AddString("--port-file", &port_file);
   parser.AddSize("--threads", &threads);
   parser.AddSize("--max-pending", &max_pending);
+  parser.AddSize("--max-terminal-jobs", &max_terminal_jobs);
   parser.AddFlag("--no-remote-shutdown", &no_remote_shutdown);
   parser.AddString("--log-level", &log_level);
   if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port);
   options.threads = threads;
   options.max_pending = max_pending;
+  // 0 = unbounded retention, an explicit operator choice on a daemon.
+  options.max_terminal_jobs = max_terminal_jobs;
   options.allow_remote_shutdown = !no_remote_shutdown;
 
   tcm::JobServer server(options);
@@ -111,7 +115,8 @@ int main(int argc, char** argv) {
       .Kv("port", static_cast<unsigned int>(server.port()))
       .Kv("pid", static_cast<long>(::getpid()))
       .Kv("threads", threads)
-      .Kv("max_pending", max_pending);
+      .Kv("max_pending", max_pending)
+      .Kv("max_terminal_jobs", max_terminal_jobs);
 
   if (!port_file.empty()) {
     std::FILE* out = std::fopen(port_file.c_str(), "w");
