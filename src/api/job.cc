@@ -192,8 +192,18 @@ Status ParseInput(const JsonValue& json, JobInput* input) {
   if (kind == "csv") {
     input->kind = InputKind::kCsvPath;
     TCM_RETURN_IF_ERROR(CheckKeys(json, "input (kind \"csv\")",
-                                  {"kind", "path"}));
+                                  {"kind", "path", "format"}));
     TCM_RETURN_IF_ERROR(ReadString(json, "input", "path", &input->path));
+    std::string format = InputFormatName(input->format);
+    TCM_RETURN_IF_ERROR(ReadString(json, "input", "format", &format));
+    if (format == "csv") {
+      input->format = InputFormat::kCsv;
+    } else if (format == "tcmb") {
+      input->format = InputFormat::kTcmb;
+    } else {
+      return SpecError("input.format must be \"csv\" or \"tcmb\", got \"" +
+                       format + "\"");
+    }
   } else if (kind == "synthetic") {
     input->kind = InputKind::kSynthetic;
     TCM_RETURN_IF_ERROR(CheckKeys(
@@ -325,6 +335,16 @@ const char* InputKindName(InputKind kind) {
   return "unknown";
 }
 
+const char* InputFormatName(InputFormat format) {
+  switch (format) {
+    case InputFormat::kCsv:
+      return "csv";
+    case InputFormat::kTcmb:
+      return "tcmb";
+  }
+  return "unknown";
+}
+
 const char* ExecutionModeName(ExecutionMode mode) {
   switch (mode) {
     case ExecutionMode::kInMemory:
@@ -408,6 +428,11 @@ JsonValue JobSpec::ToJson() const {
   switch (input.kind) {
     case InputKind::kCsvPath:
       input_json.Set("path", input.path);
+      // The default ("csv") is left implicit so existing specs round-trip
+      // byte for byte.
+      if (input.format != InputFormat::kCsv) {
+        input_json.Set("format", InputFormatName(input.format));
+      }
       break;
     case InputKind::kSynthetic:
       input_json.Set("generator", input.generator);
@@ -514,9 +539,12 @@ Status JobSpec::Validate() const {
   switch (input.kind) {
     case InputKind::kCsvPath:
       if (input.path.empty()) {
-        return SpecError("input.path must name a CSV file");
+        return SpecError("input.path must name an input file");
       }
-      if (roles.quasi_identifiers.empty() || roles.confidential.empty()) {
+      // A .tcmb file carries a full schema and may already carry roles;
+      // CSV headers carry names only, so roles are mandatory there.
+      if (input.format == InputFormat::kCsv &&
+          (roles.quasi_identifiers.empty() || roles.confidential.empty())) {
         return SpecError(
             "CSV input needs roles.quasi_identifiers and "
             "roles.confidential (column names in the header)");
@@ -547,6 +575,11 @@ Status JobSpec::Validate() const {
             "input kind \"record_source\" needs a non-null source");
       }
       break;
+  }
+  if (input.format != InputFormat::kCsv &&
+      input.kind != InputKind::kCsvPath) {
+    return SpecError("input.format applies to file inputs (kind \"csv\") "
+                     "only");
   }
 
   // Algorithm parameters. Sweep cells are checked below; the base section

@@ -32,20 +32,30 @@ class RecordSource;
 // callers handing over live objects) and are rejected by FromJson.
 enum class InputKind { kCsvPath, kSynthetic, kDataset, kRecordSource };
 
+// On-disk encoding of a file input (kCsvPath): the CSV text format, or
+// the .tcmb columnar binary format (colstore/tcmb.h) produced by
+// `tcm_anonymize --convert`. A .tcmb input memory-maps zero-copy, carries
+// its own schema (including categorical dictionaries), and yields
+// byte-identical releases to the CSV it was converted from.
+enum class InputFormat { kCsv, kTcmb };
+
 // How the job executes: fully in memory through PipelineRunner, or
 // window by window through StreamingPipelineRunner under a bounded
 // resident-row budget.
 enum class ExecutionMode { kInMemory, kStreaming };
 
 const char* InputKindName(InputKind kind);
+const char* InputFormatName(InputFormat format);
 const char* ExecutionModeName(ExecutionMode mode);
 
 struct JobInput {
   InputKind kind = InputKind::kCsvPath;
 
-  // kCsvPath: numeric CSV with a header row. Relative paths resolve
-  // against the process working directory.
+  // kCsvPath: numeric CSV with a header row, or a .tcmb columnar file
+  // when format is kTcmb. Relative paths resolve against the process
+  // working directory.
   std::string path;
+  InputFormat format = InputFormat::kCsv;
 
   // kSynthetic: one of the library's generators —
   //   "uniform", "clustered"           (streaming-capable)

@@ -16,6 +16,14 @@ JsonValue RunReport::ToJson() const {
   algorithm_json.Set("seed", static_cast<double>(seed));
   json.Set("algorithm", std::move(algorithm_json));
 
+  if (!input_format.empty()) {
+    JsonValue input_json = JsonValue::MakeObject();
+    input_json.Set("format", input_format);
+    input_json.Set("mapped_bytes", input_mapped_bytes);
+    input_json.Set("copied_bytes", input_copied_bytes);
+    json.Set("input", std::move(input_json));
+  }
+
   json.Set("rows", rows);
   if (!swept) {
     json.Set("clusters", clusters);
@@ -88,6 +96,8 @@ JsonValue RunReport::ToJson() const {
       w.Set("rows", window.rows);
       w.Set("clusters", window.clusters);
       w.Set("shards", window.num_shards);
+      w.Set("shard_size", window.shard_size);
+      w.Set("threads", window.threads);
       w.Set("final_merges", window.final_merges);
       w.Set("min_cluster_size", window.min_cluster_size);
       w.Set("max_cluster_size", window.max_cluster_size);

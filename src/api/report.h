@@ -54,6 +54,14 @@ struct RunReport {
   double t = 0.0;
   uint64_t seed = 0;
 
+  // Input provenance: "csv" / "tcmb" for file inputs, the input kind
+  // name otherwise, plus the zero-copy accounting — bytes served straight
+  // from the memory mapping vs bytes copied into row storage while
+  // loading. CSV inputs map nothing and copy the whole file.
+  std::string input_format;
+  size_t input_mapped_bytes = 0;
+  size_t input_copied_bytes = 0;
+
   // Shared measurements.
   size_t rows = 0;
   size_t clusters = 0;  // streaming: summed over windows; sweeps: 0

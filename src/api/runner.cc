@@ -1,11 +1,16 @@
 #include "api/runner.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "colstore/column_table.h"
+#include "colstore/columnar_source.h"
+#include "colstore/tcmb.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "data/csv.h"
@@ -52,15 +57,62 @@ Result<Dataset> DrainSource(RecordSource* source) {
   return out;
 }
 
+// Zero-copy accounting carried up into RunReport's "input" object.
+struct InputBytes {
+  size_t mapped = 0;
+  size_t copied = 0;
+};
+
+// Logical payload bytes of one materialized row (8 per numeric cell, 4
+// per dictionary code): the copy cost of turning columns into Records.
+size_t RowPayloadBytes(const Schema& schema) {
+  size_t width = 0;
+  for (const Attribute& attr : schema.attributes()) {
+    width += attr.is_categorical() ? sizeof(int32_t) : sizeof(double);
+  }
+  return width;
+}
+
+// A .tcmb file may carry roles of its own; when neither it nor the spec
+// provides both role kinds the job cannot anonymize anything — fail as an
+// invalid spec (exit 3 at the CLI) rather than deep inside the engine.
+Status CheckTcmbRoles(const Schema& schema) {
+  if (schema.QuasiIdentifierIndices().empty() ||
+      schema.ConfidentialIndices().empty()) {
+    return Status::InvalidSpec(
+        ".tcmb input carries no quasi-identifier/confidential roles; set "
+        "roles.quasi_identifiers and roles.confidential in the spec");
+  }
+  return Status::Ok();
+}
+
 // Materializes the job's input as an in-memory dataset with the spec's
 // roles applied. To avoid copying a caller-provided dataset whose roles
 // are already set (the common programmatic path), the result is a
-// pointer: either into the spec or into *storage.
+// pointer: either into the spec or into *storage. `bytes` (optional)
+// receives the input's map/copy accounting.
 Result<const Dataset*> MaterializeDataset(const JobSpec& spec,
-                                          Dataset* storage) {
+                                          Dataset* storage,
+                                          InputBytes* bytes = nullptr) {
   switch (spec.input.kind) {
     case InputKind::kCsvPath: {
-      TCM_ASSIGN_OR_RETURN(*storage, ReadNumericCsv(spec.input.path));
+      if (spec.input.format == InputFormat::kTcmb) {
+        TCM_ASSIGN_OR_RETURN(ColumnTable table, ReadTcmb(spec.input.path));
+        if (bytes != nullptr) {
+          bytes->mapped = table.mapped_bytes();
+          bytes->copied = table.copied_bytes() +
+                          table.num_rows() * RowPayloadBytes(table.schema());
+        }
+        *storage = table.ToDataset();
+      } else {
+        TCM_ASSIGN_OR_RETURN(*storage, ReadNumericCsv(spec.input.path));
+        if (bytes != nullptr) {
+          std::error_code ec;
+          const auto size =
+              std::filesystem::file_size(spec.input.path, ec);
+          bytes->copied = ec ? 0 : static_cast<size_t>(size);
+        }
+      }
       break;
     }
     case InputKind::kSynthetic:
@@ -83,6 +135,10 @@ Result<const Dataset*> MaterializeDataset(const JobSpec& spec,
     TCM_RETURN_IF_ERROR(AssignRoles(storage, spec.roles.quasi_identifiers,
                                     spec.roles.confidential));
   }
+  if (spec.input.kind == InputKind::kCsvPath &&
+      spec.input.format == InputFormat::kTcmb) {
+    TCM_RETURN_IF_ERROR(CheckTcmbRoles(storage->schema()));
+  }
   return storage;
 }
 
@@ -99,15 +155,22 @@ Status RunInMemoryJob(const JobSpec& spec, RunReport* report) {
 
   PipelineRunner runner(spec.execution.threads);
   Result<PipelineReport> run = Status::Internal("unreachable");
-  if (spec.input.kind == InputKind::kCsvPath) {
+  if (spec.input.kind == InputKind::kCsvPath &&
+      spec.input.format == InputFormat::kCsv) {
     pipeline.input_path = spec.input.path;
     pipeline.quasi_identifiers = spec.roles.quasi_identifiers;
     pipeline.confidential = spec.roles.confidential;
     run = runner.Run(pipeline);
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(spec.input.path, ec);
+    report->input_copied_bytes = ec ? 0 : static_cast<size_t>(size);
   } else {
     Dataset storage;
+    InputBytes bytes;
     TCM_ASSIGN_OR_RETURN(const Dataset* data,
-                         MaterializeDataset(spec, &storage));
+                         MaterializeDataset(spec, &storage, &bytes));
+    report->input_mapped_bytes = bytes.mapped;
+    report->input_copied_bytes = bytes.copied;
     run = runner.Run(*data, pipeline);
   }
   TCM_RETURN_IF_ERROR(run.status());
@@ -149,10 +212,26 @@ Status RunInMemoryJob(const JobSpec& spec, RunReport* report) {
 Status RunStreamingJob(const JobSpec& spec, RunReport* report) {
   // Build the record source the spec names.
   std::unique_ptr<StreamingCsvReader> reader;
+  std::unique_ptr<ColumnarSource> columnar;
   std::unique_ptr<SyntheticSource> synthetic;
   RecordSource* source = nullptr;
   switch (spec.input.kind) {
     case InputKind::kCsvPath: {
+      if (spec.input.format == InputFormat::kTcmb) {
+        TCM_ASSIGN_OR_RETURN(columnar, ColumnarSource::Open(spec.input.path));
+        if (!spec.roles.quasi_identifiers.empty() ||
+            !spec.roles.confidential.empty()) {
+          TCM_ASSIGN_OR_RETURN(
+              Schema schema,
+              SchemaWithRoles(columnar->schema(),
+                              spec.roles.quasi_identifiers,
+                              spec.roles.confidential));
+          TCM_RETURN_IF_ERROR(columnar->ReplaceSchema(std::move(schema)));
+        }
+        TCM_RETURN_IF_ERROR(CheckTcmbRoles(columnar->schema()));
+        source = columnar.get();
+        break;
+      }
       TCM_ASSIGN_OR_RETURN(reader,
                            StreamingCsvReader::OpenNumeric(spec.input.path));
       TCM_ASSIGN_OR_RETURN(
@@ -233,14 +312,25 @@ Status RunStreamingJob(const JobSpec& spec, RunReport* report) {
   report->exact_checks = streaming_report.exact_checks;
   report->overlapped_reads = streaming_report.overlapped_reads;
   report->windows = std::move(streaming_report.windows);
+  if (columnar != nullptr) {
+    report->input_mapped_bytes = columnar->mapped_bytes();
+    report->input_copied_bytes = columnar->copied_bytes();
+  } else if (reader != nullptr) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(spec.input.path, ec);
+    report->input_copied_bytes = ec ? 0 : static_cast<size_t>(size);
+  }
   return Status::Ok();
 }
 
 Status RunSweepJob(const JobSpec& spec, RunReport* report) {
   WallTimer timer;
   Dataset storage;
+  InputBytes bytes;
   TCM_ASSIGN_OR_RETURN(const Dataset* data,
-                       MaterializeDataset(spec, &storage));
+                       MaterializeDataset(spec, &storage, &bytes));
+  report->input_mapped_bytes = bytes.mapped;
+  report->input_copied_bytes = bytes.copied;
   report->load_seconds = timer.ElapsedSeconds();
   report->rows = data->NumRecords();
 
@@ -338,6 +428,9 @@ Result<RunReport> RunJob(const JobSpec& spec) {
   report.seed = spec.algorithm.seed;
   report.merge_strategy = spec.execution.merge_strategy;
   report.overlap_io = spec.execution.overlap_io;
+  report.input_format = spec.input.kind == InputKind::kCsvPath
+                            ? InputFormatName(spec.input.format)
+                            : InputKindName(spec.input.kind);
   report.verify_requested = spec.verify && !report.swept;
   if (!report.swept) report.release_path = spec.output.release_path;
 

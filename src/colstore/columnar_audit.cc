@@ -1,0 +1,131 @@
+#include "colstore/columnar_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "distance/categorical.h"
+
+namespace tcm {
+namespace {
+
+Result<CategoricalTClosenessReport> EvaluateColumnar(
+    const ColumnTable& table, size_t confidential_offset,
+    AttributeType required_type,
+    double (*distance)(const std::vector<size_t>&,
+                       const std::vector<size_t>&)) {
+  const auto confidential = table.schema().ConfidentialIndices();
+  if (confidential.size() <= confidential_offset) {
+    return Status::InvalidArgument("confidential attribute not available");
+  }
+  const size_t col = confidential[confidential_offset];
+  const Attribute& attr = table.schema().at(col);
+  if (attr.type != required_type) {
+    return Status::InvalidArgument(
+        std::string("confidential attribute is ") +
+        AttributeTypeName(attr.type) + ", expected " +
+        AttributeTypeName(required_type));
+  }
+  std::span<const int32_t> codes = table.CodeColumn(col);
+  // Category universe: the declared dictionary, or the observed code range
+  // when the schema does not enumerate them (mirrors the row evaluator).
+  size_t universe = attr.categories.size();
+  for (int32_t code : codes) {
+    TCM_CHECK_GE(code, 0) << "negative dictionary code in column \""
+                          << attr.name << "\"";
+    universe = std::max(universe, static_cast<size_t>(code) + 1);
+  }
+  if (universe == 0) {
+    return Status::InvalidArgument("no categories declared or observed");
+  }
+
+  std::vector<size_t> global = CountCategoryCodes(codes, universe);
+
+  TCM_ASSIGN_OR_RETURN(auto classes, ColumnarEquivalenceClasses(table));
+  CategoricalTClosenessReport report;
+  report.num_equivalence_classes = classes.size();
+  double total = 0.0;
+  std::vector<size_t> counts(universe, 0);
+  for (const auto& group : classes) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t row : group) {
+      ++counts[static_cast<size_t>(codes[row])];
+    }
+    double value = distance(counts, global);
+    report.max_distance = std::max(report.max_distance, value);
+    total += value;
+  }
+  if (!classes.empty()) {
+    report.mean_distance = total / static_cast<double>(classes.size());
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<size_t>>> ColumnarEquivalenceClasses(
+    const ColumnTable& table) {
+  const std::vector<size_t> qi = table.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::InvalidArgument("dataset has no quasi-identifiers");
+  }
+  // Fixed-width byte key per row over the QI columns. Doubles are keyed by
+  // bit pattern with -0.0 normalized to 0.0 so byte equality matches the
+  // row store's Value operator==.
+  size_t key_width = 0;
+  for (size_t col : qi) {
+    key_width +=
+        table.schema().at(col).is_categorical() ? sizeof(int32_t)
+                                                : sizeof(double);
+  }
+  std::unordered_map<std::string, size_t> class_index;
+  std::vector<std::vector<size_t>> classes;
+  std::string key(key_width, '\0');
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    size_t pos = 0;
+    for (size_t col : qi) {
+      if (table.schema().at(col).is_categorical()) {
+        const int32_t code = table.CodeColumn(col)[row];
+        std::memcpy(key.data() + pos, &code, sizeof(code));
+        pos += sizeof(code);
+      } else {
+        double v = table.NumericColumn(col)[row];
+        if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0
+        std::memcpy(key.data() + pos, &v, sizeof(v));
+        pos += sizeof(v);
+      }
+    }
+    auto [it, inserted] = class_index.emplace(key, classes.size());
+    if (inserted) classes.emplace_back();
+    classes[it->second].push_back(row);
+  }
+  return classes;
+}
+
+Result<bool> IsColumnarKAnonymous(const ColumnTable& table, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  TCM_ASSIGN_OR_RETURN(auto classes, ColumnarEquivalenceClasses(table));
+  for (const auto& group : classes) {
+    if (group.size() < k) return false;
+  }
+  return true;
+}
+
+Result<CategoricalTClosenessReport> EvaluateColumnarOrdinalTCloseness(
+    const ColumnTable& table, size_t confidential_offset) {
+  return EvaluateColumnar(table, confidential_offset, AttributeType::kOrdinal,
+                          &OrdinalCategoricalEmd);
+}
+
+Result<CategoricalTClosenessReport> EvaluateColumnarNominalTCloseness(
+    const ColumnTable& table, size_t confidential_offset) {
+  return EvaluateColumnar(table, confidential_offset, AttributeType::kNominal,
+                          &NominalCategoricalEmd);
+}
+
+}  // namespace tcm

@@ -1,0 +1,40 @@
+#ifndef TCM_COLSTORE_COLUMNAR_AUDIT_H_
+#define TCM_COLSTORE_COLUMNAR_AUDIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "colstore/column_table.h"
+#include "common/result.h"
+#include "privacy/categorical_tcloseness.h"
+
+namespace tcm {
+
+// Column-native privacy audits: the same verdicts as the row-store
+// evaluators in privacy/, computed straight off the (possibly memory-
+// mapped) columns. Categorical work runs on dictionary codes through the
+// integer-indexed EMD kernels — no Value materialization and no string
+// hashing. Equality with the row-store evaluators is pinned by
+// tests/colstore_test.cc on bridged datasets.
+
+// Groups rows by exact equality of their quasi-identifier columns, classes
+// in first-appearance order (matching EquivalenceClasses on the bridged
+// dataset). InvalidArgument if the schema has no quasi-identifiers.
+Result<std::vector<std::vector<size_t>>> ColumnarEquivalenceClasses(
+    const ColumnTable& table);
+
+// Minimum equivalence-class size >= k. Mirrors IsKAnonymous.
+Result<bool> IsColumnarKAnonymous(const ColumnTable& table, size_t k);
+
+// Ordinal / nominal t-closeness over the confidential dictionary column.
+// Same reports (universe, distances, unweighted class mean) as
+// EvaluateOrdinalTCloseness / EvaluateNominalTCloseness on the bridged
+// dataset; equality is pinned by tests.
+Result<CategoricalTClosenessReport> EvaluateColumnarOrdinalTCloseness(
+    const ColumnTable& table, size_t confidential_offset = 0);
+Result<CategoricalTClosenessReport> EvaluateColumnarNominalTCloseness(
+    const ColumnTable& table, size_t confidential_offset = 0);
+
+}  // namespace tcm
+
+#endif  // TCM_COLSTORE_COLUMNAR_AUDIT_H_

@@ -1,0 +1,31 @@
+#include "colstore/columnar_source.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "colstore/tcmb.h"
+
+namespace tcm {
+
+Result<std::unique_ptr<ColumnarSource>> ColumnarSource::Open(
+    const std::string& path) {
+  Result<ColumnTable> table = ReadTcmb(path);
+  if (!table.ok()) return table.status();
+  return std::make_unique<ColumnarSource>(std::move(table).value());
+}
+
+Result<size_t> ColumnarSource::ReadInto(Dataset* out, size_t max_rows) {
+  const size_t count = std::min(max_rows, table_.num_rows() - next_row_);
+  if (count == 0) return size_t{0};
+  TCM_ASSIGN_OR_RETURN(size_t cells, table_.AppendRows(out, next_row_, count));
+  (void)cells;
+  size_t row_width = 0;
+  for (const Attribute& attr : table_.schema().attributes()) {
+    row_width += attr.is_categorical() ? sizeof(int32_t) : sizeof(double);
+  }
+  materialized_bytes_ += count * row_width;
+  next_row_ += count;
+  return count;
+}
+
+}  // namespace tcm

@@ -1,0 +1,30 @@
+#ifndef TCM_COLSTORE_CONVERT_H_
+#define TCM_COLSTORE_CONVERT_H_
+
+#include <string>
+
+#include "colstore/column_table.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tcm {
+
+// One-time CSV -> columnar conversion (the engine behind
+// `tcm_anonymize --convert`). Two bounded-memory streaming passes over the
+// file with the shared CSV tokenizer: pass 1 infers per-column types (a
+// column where every stripped field parses as a double is numeric,
+// anything else is nominal) and counts rows; pass 2 fills the columns,
+// interning nominal labels into per-column dictionaries in first-appearance
+// order. Numeric cells go through the same StripWhitespace + ParseDouble
+// pair as the CSV readers, so a converted file replays byte-identically.
+// Roles are all kOther — the JobSpec assigns roles at run time, exactly as
+// it does for CSV inputs. IoError on unreadable or malformed input.
+Result<ColumnTable> ConvertCsvToColumnar(const std::string& csv_path);
+
+// Converts and writes the .tcmb image in one call.
+Status ConvertCsvToTcmb(const std::string& csv_path,
+                        const std::string& tcmb_path);
+
+}  // namespace tcm
+
+#endif  // TCM_COLSTORE_CONVERT_H_

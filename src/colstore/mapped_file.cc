@@ -1,0 +1,50 @@
+#include "colstore/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tcm {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open \"" + path +
+                           "\": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat \"" + path +
+                           "\": " + std::strerror(saved));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return std::shared_ptr<const MappedFile>(new MappedFile(nullptr, 0));
+  }
+  void* mapping = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  int saved = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapping == MAP_FAILED) {
+    return Status::IoError("cannot mmap \"" + path +
+                           "\": " + std::strerror(saved));
+  }
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const char*>(mapping), size));
+}
+
+}  // namespace tcm

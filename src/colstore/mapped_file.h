@@ -1,0 +1,42 @@
+#ifndef TCM_COLSTORE_MAPPED_FILE_H_
+#define TCM_COLSTORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace tcm {
+
+// A read-only memory mapping of an entire file. The mapping stays valid for
+// the lifetime of the object; ColumnTable holds a shared_ptr to its mapping
+// so every column span and dictionary string_view handed out remains valid
+// while any consumer still owns the table (or a keep-alive copy of the
+// owner). Never hand out views that could outlive the last shared_ptr.
+class MappedFile {
+ public:
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only. IoError if the file cannot be opened, stat'ed or
+  // mapped. An empty file yields a valid object with data() == nullptr and
+  // size() == 0 (nothing is mapped).
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const char* data, size_t size) : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;  // nullptr iff size_ == 0
+  size_t size_ = 0;
+};
+
+}  // namespace tcm
+
+#endif  // TCM_COLSTORE_MAPPED_FILE_H_

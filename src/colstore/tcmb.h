@@ -1,0 +1,69 @@
+#ifndef TCM_COLSTORE_TCMB_H_
+#define TCM_COLSTORE_TCMB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "colstore/column_table.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tcm {
+
+// Version of the .tcmb on-disk format. Bumped on any layout change; readers
+// reject other versions with InvalidSpec. Pinned by tcm_lint against the
+// README "Binary dataset format" section.
+inline constexpr uint32_t kTcmbFormatVersion = 1;
+
+// .tcmb v1 layout (all integers little-endian):
+//
+//   preamble (32 bytes)
+//     bytes  0..3   magic "TCMB"
+//     bytes  4..7   u32 format version (kTcmbFormatVersion)
+//     bytes  8..15  u64 header size in bytes
+//     bytes 16..23  u64 FNV-1a-64 checksum of the header blob
+//     bytes 24..31  u64 declared total file size (truncation detector)
+//   header blob (starts at byte 32)
+//     u64 row count, u32 column count, then per column:
+//       u32 name length + name bytes,
+//       u8 attribute type, u8 attribute role,
+//       u32 category count, then per category u32 length + bytes
+//     then the payload directory: per column
+//       u64 payload offset, u64 payload size, u64 FNV-1a-64 checksum
+//   zero padding to the next 8-byte boundary, then per-column payloads,
+//   each 8-byte aligned: numeric columns are row-count doubles, categorical
+//   columns are row-count int32 dictionary codes.
+//
+// Error contract (matched by the CLI exit codes): IoError for anything that
+// smells like a damaged file — unreadable path, truncation anywhere,
+// checksum mismatch, dictionary code outside its column's dictionary.
+// InvalidSpec for a file that is intact but not a usable .tcmb v1 — wrong
+// magic, unsupported version, malformed header, non-canonical payload
+// layout, trailing bytes beyond the declared size.
+
+// Serializes the table into an in-memory .tcmb image.
+// InvalidArgument for a zero-column table. Dictionary codes are written as
+// stored — the writer trusts, the reader verifies.
+Result<std::string> SerializeTcmb(const ColumnTable& table);
+
+// Serializes and writes atomically enough for tooling (write then rename is
+// not needed here: callers treat a failed write as fatal). IoError on any
+// filesystem failure.
+Status WriteTcmb(const ColumnTable& table, const std::string& path);
+
+// Parses a .tcmb image held in memory. When `owner` is non-null and a
+// payload is correctly aligned in place, the resulting table aliases the
+// buffer zero-copy and keeps `owner` alive; otherwise payload bytes are
+// copied into owned storage. `context` names the input in error messages.
+Result<ColumnTable> ParseTcmb(const char* data, size_t size,
+                              std::shared_ptr<const void> owner,
+                              const std::string& context);
+
+// Memory-maps `path` and parses it zero-copy. The returned table keeps the
+// mapping alive; mapped_bytes()/copied_bytes() report the split.
+Result<ColumnTable> ReadTcmb(const std::string& path);
+
+}  // namespace tcm
+
+#endif  // TCM_COLSTORE_TCMB_H_

@@ -40,6 +40,32 @@ double NominalCategoricalEmd(const std::vector<size_t>& counts_p,
   return 0.5 * total;
 }
 
+std::vector<size_t> CountCategoryCodes(std::span<const int32_t> codes,
+                                       size_t universe) {
+  TCM_CHECK_GT(universe, 0u);
+  std::vector<size_t> counts(universe, 0);
+  for (int32_t code : codes) {
+    TCM_CHECK(code >= 0 && static_cast<size_t>(code) < universe)
+        << "dictionary code " << code << " outside universe of " << universe;
+    ++counts[static_cast<size_t>(code)];
+  }
+  return counts;
+}
+
+double OrdinalCategoricalEmdCodes(std::span<const int32_t> codes_p,
+                                  std::span<const int32_t> codes_q,
+                                  size_t universe) {
+  return OrdinalCategoricalEmd(CountCategoryCodes(codes_p, universe),
+                               CountCategoryCodes(codes_q, universe));
+}
+
+double NominalCategoricalEmdCodes(std::span<const int32_t> codes_p,
+                                  std::span<const int32_t> codes_q,
+                                  size_t universe) {
+  return NominalCategoricalEmd(CountCategoryCodes(codes_p, universe),
+                               CountCategoryCodes(codes_q, universe));
+}
+
 double JensenShannonDivergence(const std::vector<size_t>& counts_p,
                                const std::vector<size_t>& counts_q) {
   TCM_CHECK_EQ(counts_p.size(), counts_q.size());

@@ -2,6 +2,8 @@
 #define TCM_DISTANCE_CATEGORICAL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace tcm {
@@ -27,6 +29,28 @@ double NominalCategoricalEmd(const std::vector<size_t>& counts_p,
 // range [0, ln 2].
 double JensenShannonDivergence(const std::vector<size_t>& counts_p,
                                const std::vector<size_t>& counts_q);
+
+// --- Integer-indexed (dictionary-code) kernels ---
+//
+// The columnar store hands categorical columns around as int32 dictionary
+// codes; these entry points bin codes into dense count vectors and reuse the
+// distances above, so the hot loop never touches a string. Every code must
+// lie in [0, universe) — out-of-range aborts (the .tcmb reader has already
+// range-checked persisted payloads; anything else is a programming error).
+
+// Histogram of `codes` over a dictionary of `universe` categories.
+std::vector<size_t> CountCategoryCodes(std::span<const int32_t> codes,
+                                       size_t universe);
+
+// OrdinalCategoricalEmd over two code sequences sharing one dictionary.
+double OrdinalCategoricalEmdCodes(std::span<const int32_t> codes_p,
+                                  std::span<const int32_t> codes_q,
+                                  size_t universe);
+
+// NominalCategoricalEmd over two code sequences sharing one dictionary.
+double NominalCategoricalEmdCodes(std::span<const int32_t> codes_p,
+                                  std::span<const int32_t> codes_q,
+                                  size_t universe);
 
 }  // namespace tcm
 

@@ -184,6 +184,8 @@ Result<StreamingReport> StreamingPipelineRunner::Run(
     summary.rows = window.NumRecords();
     summary.clusters = result->partition.NumClusters();
     summary.num_shards = stats.num_shards;
+    summary.shard_size = spec.shard_size;
+    summary.threads = pool_.num_threads();
     summary.final_merges = stats.final_merges;
     summary.min_cluster_size = result->min_cluster_size;
     summary.max_cluster_size = result->max_cluster_size;

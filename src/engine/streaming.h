@@ -80,6 +80,10 @@ struct StreamingWindowSummary {
   size_t rows = 0;
   size_t clusters = 0;
   size_t num_shards = 1;
+  // The shard plan the window actually ran with (report-only — recorded
+  // so operators can see the fan-out per window; no adaptivity yet).
+  size_t shard_size = 0;
+  size_t threads = 1;
   size_t final_merges = 0;
   size_t min_cluster_size = 0;
   size_t max_cluster_size = 0;

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "distance/categorical.h"
 #include "distance/emd_bounds.h"
 
 namespace tcm {
@@ -74,6 +75,31 @@ double ClusterTotalVariation(const std::vector<int32_t>& categories,
                              const std::vector<size_t>& rows) {
   TCM_CHECK(!rows.empty());
   TCM_CHECK(!categories.empty());
+  // Dictionary codes from the columnar store are dense non-negative ints:
+  // bin them into count vectors and reuse the integer-indexed nominal EMD
+  // (no per-code map nodes in the hot loop). Arbitrary codes — negative or
+  // wildly sparse — take the original map path.
+  int32_t min_code = categories.front();
+  int32_t max_code = categories.front();
+  for (int32_t code : categories) {
+    min_code = std::min(min_code, code);
+    max_code = std::max(max_code, code);
+  }
+  const bool dense =
+      min_code >= 0 &&
+      static_cast<size_t>(max_code) < 2 * categories.size() + 64;
+  if (dense) {
+    const size_t universe = static_cast<size_t>(max_code) + 1;
+    std::vector<size_t> global = CountCategoryCodes(
+        std::span<const int32_t>(categories.data(), categories.size()),
+        universe);
+    std::vector<size_t> cluster(universe, 0);
+    for (size_t row : rows) {
+      TCM_CHECK_LT(row, categories.size());
+      ++cluster[static_cast<size_t>(categories[row])];
+    }
+    return NominalCategoricalEmd(global, cluster);
+  }
   std::map<int32_t, double> global, cluster;
   for (int32_t code : categories) {
     global[code] += 1.0 / static_cast<double>(categories.size());

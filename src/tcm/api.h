@@ -21,12 +21,19 @@
 // JobServer/JobQueue/ServeClient and the newline-delimited JSON wire
 // protocol they speak (serve/protocol.h, versioned separately by
 // kServeProtocolVersion) — is re-exported too, so an embedder can host
-// or talk to a tcm_serve endpoint with this one include. Engine
-// internals (engine/*.h) remain includable but are not versioned API.
+// or talk to a tcm_serve endpoint with this one include. The columnar
+// store (colstore/*.h) is re-exported as well: ColumnTable, the .tcmb
+// binary dataset format (versioned separately by kTcmbFormatVersion),
+// the CSV converter and the streaming ColumnarSource. Engine internals
+// (engine/*.h) remain includable but are not versioned API.
 
 #include "api/job.h"
 #include "api/report.h"
 #include "api/runner.h"
+#include "colstore/column_table.h"
+#include "colstore/columnar_source.h"
+#include "colstore/convert.h"
+#include "colstore/tcmb.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "common/status.h"

@@ -110,4 +110,45 @@ expect_exit(0 "audit passes on a compliant threshold"
   --audit "${WORK_DIR}/leaky_release.csv"
   --qi age,zip --confidential salary --k 1 --t 10)
 
+# --- convert mode and the .tcmb error contract -----------------------------
+
+expect_exit(2 "usage error (convert without --output)"
+  --convert "${WORK_DIR}/leaky_release.csv")
+
+expect_exit(2 "usage error (convert refuses anonymization flags)"
+  --convert "${WORK_DIR}/leaky_release.csv"
+  --output "${WORK_DIR}/never.tcmb" --k 5)
+
+expect_exit(0 "success (convert csv to .tcmb)"
+  --convert "${WORK_DIR}/leaky_release.csv"
+  --output "${WORK_DIR}/leaky_release.tcmb")
+
+expect_exit(5 "IoError (convert missing input csv)"
+  --convert "${WORK_DIR}/does_not_exist.csv"
+  --output "${WORK_DIR}/never.tcmb")
+
+# Not a .tcmb file at all (wrong magic): the input is not this format,
+# so the spec naming it is invalid — exit 3.
+file(WRITE "${WORK_DIR}/junk.tcmb" "definitely,not,binary\n1,2,3\n")
+expect_exit(3 "InvalidSpec (bad .tcmb magic)"
+  --input "${WORK_DIR}/junk.tcmb" --output "${WORK_DIR}/never.csv"
+  --qi definitely,not --confidential binary --k 2 --t 0.5)
+
+# Correct magic but the file ends before the version field: damaged
+# goods — exit 5.
+file(WRITE "${WORK_DIR}/truncated.tcmb" "TCMB")
+expect_exit(5 "IoError (truncated .tcmb)"
+  --input "${WORK_DIR}/truncated.tcmb" --output "${WORK_DIR}/never.csv"
+  --qi a,b --confidential c --k 2 --t 0.5)
+
+# The audit path accepts the binary format too, with the same verdicts
+# as the CSV it came from.
+expect_exit(6 "PrivacyViolation (audit of a leaky .tcmb)"
+  --audit "${WORK_DIR}/leaky_release.tcmb"
+  --qi age,zip --confidential salary --k 5 --t 0.5)
+
+expect_exit(0 "audit of a converted .tcmb passes"
+  --audit "${WORK_DIR}/leaky_release.tcmb"
+  --qi age,zip --confidential salary --k 1 --t 10)
+
 message(STATUS "exit-code contract OK: all documented codes observed")

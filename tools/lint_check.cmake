@@ -122,6 +122,23 @@ execute_process(
   ERROR_VARIABLE output)
 expect_exit("drifted protocol pin" 3 "${result}" "${output}")
 
+# A README whose ".tcmb, version N" binary-format pin disagrees with
+# kTcmbFormatVersion fails the version-pin check.
+set(TCMB_TREE "${WORK_DIR}/tcmb_tree")
+file(MAKE_DIRECTORY "${TCMB_TREE}/tests/golden")
+string(REPLACE ".tcmb, version 1" ".tcmb, version 9"
+  readme_tcmb "${readme}")
+if(readme_tcmb STREQUAL readme)
+  message(FATAL_ERROR "tcmb drift setup: no \".tcmb, version 1\" in README")
+endif()
+file(WRITE "${TCMB_TREE}/README.md" "${readme_tcmb}")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${TCMB_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("drifted .tcmb format pin" 3 "${result}" "${output}")
+
 # Same for the stats event's "stats_schema":N vs kStatsSchemaVersion.
 set(STATS_TREE "${WORK_DIR}/stats_tree")
 file(MAKE_DIRECTORY "${STATS_TREE}/tests/golden")

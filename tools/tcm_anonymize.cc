@@ -41,9 +41,22 @@
 //
 // Exit 0 when the file is k-anonymous and t-close under those roles,
 // 6 (PrivacyViolation) naming the violated guarantee otherwise.
+//
+// Convert mode translates a CSV into the zero-copy binary dataset
+// format (.tcmb, layout documented in README.md "Binary dataset
+// format") and nothing else:
+//
+//   tcm_anonymize --convert data.csv --output data.tcmb
+//
+// The converted file is accepted anywhere a CSV path is: --input
+// auto-detects the .tcmb extension (equivalent to input.format "tcmb"
+// in a job file), and the release bytes are identical either way.
+// Unreadable or truncated .tcmb inputs exit 5 (IoError); malformed
+// headers or a format-version mismatch exit 3 (InvalidSpec).
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arg_parser.h"
@@ -65,7 +78,18 @@ constexpr char kUsage[] =
     "                     [--report] [--report-json FILE]\n"
     "                     [--trace-out FILE] [--list-algorithms]\n"
     "       tcm_anonymize --audit FILE --qi A,B,... --confidential C\n"
-    "                     --k N --t X\n";
+    "                     --k N --t X\n"
+    "       tcm_anonymize --convert IN.csv --output OUT.tcmb\n";
+
+// File inputs ending in ".tcmb" are treated as the binary dataset
+// format; everything else stays CSV. Job files say input.format
+// explicitly — the extension sniff is CLI sugar only.
+bool HasTcmbExtension(const std::string& path) {
+  constexpr char kExt[] = ".tcmb";
+  constexpr size_t kExtLen = sizeof(kExt) - 1;
+  return path.size() >= kExtLen &&
+         path.compare(path.size() - kExtLen, kExtLen, kExt) == 0;
+}
 
 // Re-verifies an existing release CSV against k/t: the VerifyRelease
 // facade on the command line. The only CLI path that can legitimately
@@ -73,23 +97,54 @@ constexpr char kUsage[] =
 // before writing.
 int RunAudit(const std::string& path, const std::vector<std::string>& qi,
              const std::string& confidential, size_t k, double t) {
-  auto data = tcm::ReadNumericCsv(path);
-  if (!data.ok()) {
-    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
-    return tcm::tools::ExitCodeForStatus(data.status());
+  tcm::Dataset data{tcm::Schema{}};
+  if (HasTcmbExtension(path)) {
+    auto table = tcm::ReadTcmb(path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+      return tcm::tools::ExitCodeForStatus(table.status());
+    }
+    data = table->ToDataset();
+  } else {
+    auto loaded = tcm::ReadNumericCsv(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return tcm::tools::ExitCodeForStatus(loaded.status());
+    }
+    data = std::move(loaded).value();
   }
-  tcm::Status roles = tcm::AssignRoles(&data.value(), qi, confidential);
+  tcm::Status roles = tcm::AssignRoles(&data, qi, confidential);
   if (!roles.ok()) {
     std::fprintf(stderr, "%s\n", roles.ToString().c_str());
     return tcm::tools::ExitCodeForStatus(roles);
   }
-  tcm::Status verdict = tcm::VerifyRelease(*data, k, t);
+  tcm::Status verdict = tcm::VerifyRelease(data, k, t);
   if (!verdict.ok()) {
     std::fprintf(stderr, "%s\n", verdict.ToString().c_str());
     return tcm::tools::ExitCodeForStatus(verdict);
   }
   std::printf("audit OK: %s is %zu-anonymous and %.4f-close (%zu records)\n",
-              path.c_str(), k, t, data->NumRecords());
+              path.c_str(), k, t, data.NumRecords());
+  return tcm::tools::kExitOk;
+}
+
+// CSV -> .tcmb translation, the only mode that never touches the
+// anonymizers. Prints the converted shape so scripted pipelines can log
+// what was written.
+int RunConvert(const std::string& csv_path, const std::string& tcmb_path) {
+  tcm::Status status = tcm::ConvertCsvToTcmb(csv_path, tcmb_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(status);
+  }
+  auto table = tcm::ReadTcmb(tcmb_path);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return tcm::tools::ExitCodeForStatus(table.status());
+  }
+  std::printf("converted %s -> %s (%zu rows, %zu columns)\n",
+              csv_path.c_str(), tcmb_path.c_str(), table->num_rows(),
+              table->schema().size());
   return tcm::tools::kExitOk;
 }
 
@@ -179,6 +234,7 @@ int main(int argc, char** argv) {
   std::string job_path, input, output, confidential, algorithm, report_json;
   std::string trace_out;
   std::string audit_path;
+  std::string convert_path;
   std::vector<std::string> qi;
   std::string merge_strategy;
   size_t k = 0, threads = 0, shard_size = 0, max_resident_rows = 0;
@@ -190,6 +246,7 @@ int main(int argc, char** argv) {
   tcm::tools::ArgParser parser(kUsage);
   parser.AddString("--job", &job_path);
   parser.AddString("--audit", &audit_path);
+  parser.AddString("--convert", &convert_path);
   parser.AddString("--input", &input);
   parser.AddString("--output", &output);
   parser.AddStringList("--qi", &qi);
@@ -213,6 +270,28 @@ int main(int argc, char** argv) {
   if (list_algorithms) {
     PrintAlgorithms();
     return tcm::tools::kExitOk;
+  }
+
+  if (!convert_path.empty()) {
+    // Convert mode stands alone like --audit: it only translates bytes,
+    // so every anonymization/audit flag is refused rather than silently
+    // ignored.
+    for (const char* flag :
+         {"--job", "--audit", "--input", "--qi", "--confidential", "--k",
+          "--t", "--algorithm", "--threads", "--shard-size", "--seed",
+          "--merge-strategy", "--stream", "--max-resident-rows",
+          "--overlap-io", "--report", "--report-json", "--trace-out"}) {
+      if (parser.Seen(flag)) {
+        std::fprintf(stderr, "%s does not apply to --convert mode\n%s", flag,
+                     kUsage);
+        return tcm::tools::kExitUsage;
+      }
+    }
+    if (output.empty()) {
+      std::fprintf(stderr, "--convert requires --output\n%s", kUsage);
+      return tcm::tools::kExitUsage;
+    }
+    return RunConvert(convert_path, output);
   }
 
   if (!audit_path.empty()) {
@@ -256,6 +335,9 @@ int main(int argc, char** argv) {
     spec.input = tcm::JobInput{};
     spec.input.kind = tcm::InputKind::kCsvPath;
     spec.input.path = input;
+    if (HasTcmbExtension(input)) {
+      spec.input.format = tcm::InputFormat::kTcmb;
+    }
   }
   if (parser.Seen("--output")) spec.output.release_path = output;
   if (parser.Seen("--report-json")) spec.output.report_path = report_json;

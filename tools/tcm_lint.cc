@@ -15,10 +15,11 @@
 //      header, so the constants cannot drift from the check).
 //
 //   3. Version pins. JobSpec::kVersion, RunReport::kVersion,
-//      kServeProtocolVersion and kStatsSchemaVersion must be consistent
-//      everywhere they are spelled: golden documents' "version" keys,
-//      the README schema heading, and every `"protocol":N` /
-//      `"stats_schema":N` in docs and protocol sources.
+//      kServeProtocolVersion, kStatsSchemaVersion and kTcmbFormatVersion
+//      must be consistent everywhere they are spelled: golden documents'
+//      "version" keys, the README schema heading, every `"protocol":N` /
+//      `"stats_schema":N` in docs and protocol sources, and the README
+//      ".tcmb, version N" binary-format pin.
 //
 // Exit codes follow the shared contract (tools/exit_codes.h): 0 clean,
 // 2 usage error, 3 (InvalidSpec) for any failed artifact or consistency
@@ -39,6 +40,7 @@
 #include "api/job.h"
 #include "api/report.h"
 #include "arg_parser.h"
+#include "colstore/tcmb.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "exit_codes.h"
@@ -401,6 +403,47 @@ void CheckReadmeSchemaVersion(const std::string& readme_path,
   report->Pass(readme_path + " (job.json schema version heading)");
 }
 
+// The README "Binary dataset format" section pins the on-disk version it
+// documents as ".tcmb, version N"; every such mention must spell
+// kTcmbFormatVersion, so bumping the format without rewriting the layout
+// docs fails the lint.
+void CheckTcmbFormatVersion(const std::string& readme_path,
+                            LintReport* report) {
+  auto text = ReadFile(readme_path);
+  if (!text) {
+    report->IoFail(readme_path, "cannot read file");
+    return;
+  }
+  const std::string needle = ".tcmb, version ";
+  bool ok = true;
+  int occurrences = 0;
+  for (size_t pos = text->find(needle); pos != std::string::npos;
+       pos = text->find(needle, pos + 1)) {
+    size_t value = pos + needle.size();
+    char* end = nullptr;
+    long version = std::strtol(text->c_str() + value, &end, 10);
+    if (end == text->c_str() + value) continue;  // not a literal number
+    ++occurrences;
+    if (version != static_cast<long>(kTcmbFormatVersion)) {
+      report->Fail(readme_path,
+                   "\".tcmb, version " + std::to_string(version) +
+                       "\" disagrees with kTcmbFormatVersion (" +
+                       std::to_string(kTcmbFormatVersion) + ")");
+      ok = false;
+    }
+  }
+  if (occurrences == 0) {
+    report->Fail(readme_path,
+                 "no \".tcmb, version N\" pin (Binary dataset format "
+                 "section)");
+    return;
+  }
+  if (ok) {
+    report->Pass(readme_path + " (.tcmb format version, " +
+                 std::to_string(occurrences) + " pins)");
+  }
+}
+
 // ----------------------------------------------------------------- driver
 
 int Run(int argc, char** argv) {
@@ -432,6 +475,7 @@ int Run(int argc, char** argv) {
     CheckDocSnippets(readme, &report);
     CheckExitCodeTable(readme, &report);
     CheckReadmeSchemaVersion(readme, &report);
+    CheckTcmbFormatVersion(readme, &report);
     CheckProtocolVersionPins(readme, &report);
     CheckStatsSchemaPins(readme, &report);
     const std::string protocol_header =
