@@ -1,0 +1,515 @@
+// Mixed-protocol load proof for the tcm_serve daemon: boot a real
+// JobServer with both fronts (NDJSON + HTTP/1.1) on loopback, hammer it
+// with TCM_SERVE_CLIENTS concurrent client threads — half speaking the
+// NDJSON protocol through ServeClient, half speaking raw HTTP/1.1 over
+// bare sockets — each submitting waited jobs with a unique seed, and
+// prove the service contract under that load:
+//
+//   * zero lost submissions — every job a client sends is eventually
+//     confirmed by a terminal "succeeded" state event (backpressure
+//     rejections are retried; they are flow control, not loss);
+//   * zero corrupted reports — every terminal event carries a
+//     well-formed report whose row count echoes the submitted spec;
+//   * bounded memory — peak RSS stays under TCM_SERVE_MAX_RSS_MB while
+//     thousands of connections come and go;
+//   * the slowloris defense holds mid-load — a connection that starts a
+//     request and stalls is answered 408 and evicted within a small
+//     multiple of the request deadline, instead of pinning a handler.
+//
+// One JSON row lands in BENCH_serve.json (same shape discipline as
+// BENCH_streaming.json) and on stdout. Any violated property exits 1.
+//
+// Environment knobs (see bench_util.h):
+//   TCM_SERVE_CLIENTS    — concurrent client connections (default 1000)
+//   TCM_SERVE_JOBS       — waited submissions per client  (default 2)
+//   TCM_SERVE_ROWS       — rows per synthetic job         (default 48)
+//   TCM_SERVE_THREADS    — job pool workers               (default 4)
+//   TCM_SERVE_PENDING    — queue bound (backpressure)     (default 256)
+//   TCM_SERVE_MAX_RSS_MB — peak-RSS ceiling               (default 512)
+//   TCM_BENCH_OUT        — output JSON path    (default BENCH_serve.json)
+//   TCM_FAST             — nonzero: 128 clients for smoke runs
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "tcm/api.h"
+
+namespace {
+
+// Retry pacing for backpressure rejections: spread by client id so a
+// thousand rejected clients do not retry in lockstep.
+void Backoff(size_t client, int attempt) {
+  const int ms = 2 + static_cast<int>(client % 16) + (attempt < 8 ? 0 : 20);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+tcm::JobSpec LoadSpec(uint64_t seed, size_t rows) {
+  tcm::JobSpec spec;
+  spec.input.kind = tcm::InputKind::kSynthetic;
+  spec.input.generator = "uniform";
+  spec.input.rows = rows;
+  spec.input.quasi_identifiers = 2;
+  spec.input.seed = seed;
+  spec.algorithm.name = "tclose_first";
+  spec.algorithm.k = 5;
+  spec.algorithm.t = 0.3;
+  spec.algorithm.seed = seed;
+  spec.execution.shard_size = 64;
+  return spec;
+}
+
+// The terminal event a waited submit must resolve to, on either front:
+// a "state" event in "succeeded" whose report echoes the row count.
+bool IsGoodTerminalEvent(const tcm::JsonValue& event, size_t rows) {
+  const tcm::JsonValue* name = event.Find("event");
+  const tcm::JsonValue* state = event.Find("state");
+  if (name == nullptr || !name->is_string() ||
+      name->string_value() != "state") {
+    return false;
+  }
+  if (state == nullptr || !state->is_string() ||
+      state->string_value() != "succeeded") {
+    return false;
+  }
+  const tcm::JsonValue* report = event.Find("report");
+  if (report == nullptr) return false;
+  const tcm::JsonValue* reported_rows = report->Find("rows");
+  return reported_rows != nullptr && reported_rows->is_number() &&
+         reported_rows->GetUint().value_or(0) == rows;
+}
+
+bool IsBackpressureEvent(const tcm::JsonValue& event) {
+  const tcm::JsonValue* name = event.Find("event");
+  const tcm::JsonValue* code = event.Find("code");
+  return name != nullptr && name->is_string() &&
+         name->string_value() == "error" && code != nullptr &&
+         code->is_string() && code->string_value() == "FailedPrecondition";
+}
+
+// ----- a raw socket, shared by the HTTP workers and the probes ------------
+
+class RawSocket {
+ public:
+  ~RawSocket() { Close(); }
+
+  bool Connect(uint16_t port, int recv_timeout_ms) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buffer_.clear();
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // One full response (head + Content-Length body); empty on EOF/error.
+  std::string ReadResponse() {
+    size_t head_end;
+    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return "";
+    }
+    size_t body_size = 0;
+    size_t marker = buffer_.find("Content-Length: ");
+    if (marker != std::string::npos && marker < head_end) {
+      body_size = static_cast<size_t>(
+          std::strtoul(buffer_.c_str() + marker + 16, nullptr, 10));
+    }
+    while (buffer_.size() < head_end + 4 + body_size) {
+      if (!Fill()) return "";
+    }
+    std::string response = buffer_.substr(0, head_end + 4 + body_size);
+    buffer_.erase(0, head_end + 4 + body_size);
+    return response;
+  }
+
+  bool AtEof() {
+    if (!buffer_.empty()) return false;
+    return !Fill();
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+int StatusOf(const std::string& response) {
+  if (response.size() < 12) return 0;
+  return std::atoi(response.c_str() + 9);
+}
+
+tcm::JsonValue BodyOf(const std::string& response) {
+  size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return tcm::JsonValue();
+  auto parsed = tcm::ParseJson(response.substr(head_end + 4));
+  return parsed.ok() ? std::move(parsed).value() : tcm::JsonValue();
+}
+
+// ----- shared tallies ------------------------------------------------------
+
+struct Tally {
+  std::atomic<size_t> confirmed{0};
+  std::atomic<size_t> corrupted{0};
+  std::atomic<size_t> lost{0};
+  std::atomic<size_t> backpressure_retries{0};
+  std::atomic<size_t> io_retries{0};
+};
+
+constexpr int kMaxAttemptsPerJob = 4096;
+
+// One NDJSON client: a ServeClient connection submitting `jobs` waited
+// jobs, reconnecting and retrying through backpressure and transient
+// socket failures. A job that cannot be confirmed within the attempt
+// budget counts as lost.
+void NdjsonWorker(uint16_t port, size_t client, size_t jobs, size_t rows,
+                  Tally* tally) {
+  std::optional<tcm::ServeClient> connection;
+  for (size_t j = 0; j < jobs; ++j) {
+    const uint64_t seed = 1 + client * 1000 + j;
+    bool confirmed = false;
+    for (int attempt = 0; attempt < kMaxAttemptsPerJob; ++attempt) {
+      if (!connection.has_value()) {
+        auto connected = tcm::ServeClient::Connect("127.0.0.1", port);
+        if (!connected.ok()) {
+          // Connection-cap rejection or transient refusal: back off.
+          tally->io_retries.fetch_add(1, std::memory_order_relaxed);
+          Backoff(client, attempt);
+          continue;
+        }
+        connection.emplace(std::move(*connected));
+      }
+      auto event =
+          connection->SubmitAndWait(LoadSpec(seed, rows).ToJson());
+      if (!event.ok()) {
+        // Socket failure mid-exchange: reconnect and retry the job.
+        connection.reset();
+        tally->io_retries.fetch_add(1, std::memory_order_relaxed);
+        Backoff(client, attempt);
+        continue;
+      }
+      if (IsBackpressureEvent(*event)) {
+        tally->backpressure_retries.fetch_add(1,
+                                              std::memory_order_relaxed);
+        Backoff(client, attempt);
+        continue;
+      }
+      if (IsGoodTerminalEvent(*event, rows)) {
+        tally->confirmed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        tally->corrupted.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "ndjson client %zu: corrupt terminal %s\n",
+                     client, event->Write(-1).c_str());
+      }
+      confirmed = true;
+      break;
+    }
+    if (!confirmed) tally->lost.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// One HTTP client: raw keep-alive POST /jobs?wait=1 exchanges. 409 is
+// the backpressure rejection (FailedPrecondition over HTTP); socket
+// failures reconnect; anything else but a clean succeeded state event
+// is corruption.
+void HttpWorker(uint16_t http_port, size_t client, size_t jobs, size_t rows,
+                Tally* tally) {
+  RawSocket socket;
+  for (size_t j = 0; j < jobs; ++j) {
+    const uint64_t seed = 1 + client * 1000 + j;
+    const std::string body = LoadSpec(seed, rows).ToJson().Write(-1);
+    const std::string request =
+        "POST /jobs?wait=1 HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    bool confirmed = false;
+    for (int attempt = 0; attempt < kMaxAttemptsPerJob; ++attempt) {
+      if (!socket.connected() &&
+          !socket.Connect(http_port, /*recv_timeout_ms=*/120000)) {
+        tally->io_retries.fetch_add(1, std::memory_order_relaxed);
+        Backoff(client, attempt);
+        continue;
+      }
+      if (!socket.Send(request)) {
+        socket.Close();
+        tally->io_retries.fetch_add(1, std::memory_order_relaxed);
+        Backoff(client, attempt);
+        continue;
+      }
+      const std::string response = socket.ReadResponse();
+      if (response.empty()) {  // EOF/timeout: cap rejection or drop
+        socket.Close();
+        tally->io_retries.fetch_add(1, std::memory_order_relaxed);
+        Backoff(client, attempt);
+        continue;
+      }
+      const int status = StatusOf(response);
+      if (status == 409 || status == 503) {
+        if (status == 503) socket.Close();  // cap rejections also close
+        tally->backpressure_retries.fetch_add(1,
+                                              std::memory_order_relaxed);
+        Backoff(client, attempt);
+        continue;
+      }
+      if (status == 200 && IsGoodTerminalEvent(BodyOf(response), rows)) {
+        tally->confirmed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        tally->corrupted.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "http client %zu: corrupt response %s\n",
+                     client, response.substr(0, 200).c_str());
+      }
+      confirmed = true;
+      break;
+    }
+    if (!confirmed) tally->lost.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// The slowloris probe, run while the load is in full swing: start a
+// request, go silent, and demand the 408 + eviction within a small
+// multiple of the request deadline.
+struct SlowlorisResult {
+  bool evicted = false;
+  double elapsed_ms = 0.0;
+};
+
+SlowlorisResult SlowlorisProbe(uint16_t http_port, int deadline_ms) {
+  SlowlorisResult result;
+  RawSocket socket;
+  if (!socket.Connect(http_port, /*recv_timeout_ms=*/deadline_ms * 20)) {
+    return result;
+  }
+  tcm::WallTimer timer;
+  if (!socket.Send("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow: ")) {
+    return result;
+  }
+  const std::string response = socket.ReadResponse();
+  result.elapsed_ms = timer.ElapsedMillis();
+  result.evicted = StatusOf(response) == 408 && socket.AtEof() &&
+                   result.elapsed_ms < 5.0 * deadline_ms;
+  return result;
+}
+
+size_t MaxRssMb() {
+  rusage usage{};
+  ::getrusage(RUSAGE_SELF, &usage);
+  return static_cast<size_t>(usage.ru_maxrss) / 1024;  // Linux: KiB
+}
+
+// Room for every client socket on both ends of loopback plus slack;
+// without this a kernel default of 1024 descriptors would turn the
+// bench into an EMFILE test.
+void RaiseFdLimit(size_t clients) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  const rlim_t wanted = static_cast<rlim_t>(4 * clients + 64);
+  if (limit.rlim_cur >= wanted) return;
+  limit.rlim_cur = wanted > limit.rlim_max ? limit.rlim_max : wanted;
+  ::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = tcm_bench::FastMode();
+  const size_t clients =
+      tcm_bench::EnvSize("TCM_SERVE_CLIENTS", fast ? 128 : 1000);
+  const size_t jobs_per_client = tcm_bench::EnvSize("TCM_SERVE_JOBS", 2);
+  const size_t rows = tcm_bench::EnvSize("TCM_SERVE_ROWS", 48);
+  const size_t pool_threads = tcm_bench::EnvSize("TCM_SERVE_THREADS", 4);
+  const size_t max_pending = tcm_bench::EnvSize("TCM_SERVE_PENDING", 256);
+  const size_t max_rss_mb =
+      tcm_bench::EnvSize("TCM_SERVE_MAX_RSS_MB", 512);
+  const char* out_env = std::getenv("TCM_BENCH_OUT");
+  const std::string out_path =
+      (out_env != nullptr && *out_env != '\0') ? out_env
+                                               : "BENCH_serve.json";
+  constexpr int kRequestDeadlineMs = 1000;
+
+  RaiseFdLimit(clients);
+
+  tcm_bench::PrintHeader(
+      "serve_load: " + std::to_string(clients) + " concurrent clients x " +
+      std::to_string(jobs_per_client) + " waited jobs, NDJSON+HTTP mixed");
+
+  tcm::ServeOptions options;
+  options.threads = pool_threads;
+  options.max_pending = max_pending;
+  options.max_terminal_jobs = 1024;
+  options.max_connections = clients + 32;
+  options.idle_timeout_ms = 10000;
+  options.enable_http = true;
+  options.http_limits.request_deadline_ms = kRequestDeadlineMs;
+  tcm::JobServer server(options);
+  tcm::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  Tally tally;
+  tcm::WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t client = 0; client < clients; ++client) {
+    if (client % 2 == 0) {
+      workers.emplace_back(NdjsonWorker, server.port(), client,
+                           jobs_per_client, rows, &tally);
+    } else {
+      workers.emplace_back(HttpWorker, server.http_port(), client,
+                           jobs_per_client, rows, &tally);
+    }
+  }
+
+  // The slowloris probe runs against the same daemon while every worker
+  // is hammering it: the defense must hold mid-load, not just when idle.
+  SlowlorisResult slowloris =
+      SlowlorisProbe(server.http_port(), kRequestDeadlineMs);
+
+  for (std::thread& worker : workers) worker.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  // Cross-check against the daemon's own lifetime accounting: every
+  // confirmed submission became exactly one succeeded job.
+  size_t server_succeeded = 0;
+  {
+    auto connection = tcm::ServeClient::Connect("127.0.0.1", server.port());
+    if (connection.ok()) {
+      auto stats = connection->Stats();
+      if (stats.ok()) {
+        const tcm::JsonValue* jobs = stats->Find("jobs");
+        const tcm::JsonValue* succeeded =
+            jobs != nullptr ? jobs->Find("succeeded") : nullptr;
+        if (succeeded != nullptr && succeeded->is_number()) {
+          server_succeeded = succeeded->GetUint().value_or(0);
+        }
+      }
+    }
+  }
+
+  server.RequestShutdown();
+  server.Wait();
+
+  const size_t total_jobs = clients * jobs_per_client;
+  const size_t rss_mb = MaxRssMb();
+  const bool rss_bounded = rss_mb <= max_rss_mb;
+  const size_t lost = tally.lost.load();
+  const size_t corrupted = tally.corrupted.load();
+  const size_t confirmed = tally.confirmed.load();
+  const bool accounted = server_succeeded == confirmed;
+
+  char line[768];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"serve_load\",\"clients\":%zu,\"jobs_per_client\":%zu,"
+      "\"jobs\":%zu,\"confirmed\":%zu,\"server_succeeded\":%zu,"
+      "\"lost\":%zu,\"corrupted\":%zu,\"backpressure_retries\":%zu,"
+      "\"io_retries\":%zu,\"rows_per_job\":%zu,\"pool_threads\":%zu,"
+      "\"max_pending\":%zu,\"seconds\":%.3f,\"jobs_per_sec\":%.0f,"
+      "\"slowloris_evicted\":%s,\"slowloris_ms\":%.0f,"
+      "\"max_rss_mb\":%zu,\"rss_bounded\":%s}",
+      clients, jobs_per_client, total_jobs, confirmed, server_succeeded,
+      lost, corrupted, tally.backpressure_retries.load(),
+      tally.io_retries.load(), rows, pool_threads, max_pending, seconds,
+      static_cast<double>(total_jobs) / seconds,
+      slowloris.evicted ? "true" : "false", slowloris.elapsed_ms, rss_mb,
+      rss_bounded ? "true" : "false");
+  std::printf("%s\n", line);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n  %s\n]\n", line);
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+
+  bool ok = true;
+  if (lost != 0 || corrupted != 0 || confirmed != total_jobs) {
+    std::fprintf(stderr,
+                 "LOST/CORRUPTED reports: confirmed %zu of %zu, lost %zu, "
+                 "corrupted %zu\n",
+                 confirmed, total_jobs, lost, corrupted);
+    ok = false;
+  }
+  if (!accounted) {
+    std::fprintf(stderr,
+                 "accounting mismatch: server counted %zu succeeded jobs, "
+                 "clients confirmed %zu\n",
+                 server_succeeded, confirmed);
+    ok = false;
+  }
+  if (!slowloris.evicted) {
+    std::fprintf(stderr,
+                 "slowloris connection was NOT evicted (%.0f ms observed, "
+                 "deadline %d ms)\n",
+                 slowloris.elapsed_ms, kRequestDeadlineMs);
+    ok = false;
+  }
+  if (!rss_bounded) {
+    std::fprintf(stderr, "peak RSS %zu MiB exceeds the %zu MiB bound\n",
+                 rss_mb, max_rss_mb);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,10 +1,11 @@
 #include "common/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/check.h"
 
@@ -53,27 +54,37 @@ void AppendEscaped(std::string_view text, std::string* out) {
   out->push_back('"');
 }
 
+// All formatting goes through std::to_chars: printf-family conversions
+// read LC_NUMERIC, so a comma-decimal host locale would emit "3,5" —
+// invalid JSON. to_chars is locale-independent by specification and
+// produces the same bytes as %g / %.0f under the "C" locale, so output
+// is byte-identical to what this writer always produced.
 void AppendNumber(double value, std::string* out) {
   if (!std::isfinite(value)) {
     out->append("null");
     return;
   }
+  char buf[40];
   double integral;
   if (std::modf(value, &integral) == 0.0 &&
       std::fabs(value) <= kMaxExactInteger) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", value);
-    out->append(buf);
+    auto fixed = std::to_chars(buf, buf + sizeof(buf), value,
+                               std::chars_format::fixed, 0);
+    out->append(buf, fixed.ptr);
     return;
   }
   // Shortest representation that round-trips: try increasing precision
-  // until strtod reads the digits back exactly.
-  char buf[40];
+  // until from_chars reads the digits back exactly.
+  const char* end = buf;
   for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
-    if (std::strtod(buf, nullptr) == value) break;
+    auto result = std::to_chars(buf, buf + sizeof(buf), value,
+                                std::chars_format::general, precision);
+    end = result.ptr;
+    double back = 0.0;
+    std::from_chars(buf, end, back);
+    if (back == value) break;
   }
-  out->append(buf);
+  out->append(buf, static_cast<size_t>(end - buf));
 }
 
 class Parser {
@@ -339,10 +350,19 @@ class Parser {
       if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
       if (digits() == 0) return Error("digits required in exponent");
     }
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return Error("invalid number");
+    // Locale-independent conversion: strtod would read a comma-decimal
+    // LC_NUMERIC and misparse the fraction. The token was just validated
+    // against the JSON grammar, a strict subset of what from_chars
+    // accepts.
+    double value = 0.0;
+    auto conv = std::from_chars(text_.data() + start, text_.data() + pos_,
+                                value, std::chars_format::general);
+    if (conv.ec == std::errc::result_out_of_range) {
+      return Error("number out of range");
+    }
+    if (conv.ec != std::errc() || conv.ptr != text_.data() + pos_) {
+      return Error("invalid number");
+    }
     if (!std::isfinite(value)) return Error("number out of range");
     return JsonValue(value);
   }

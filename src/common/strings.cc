@@ -1,8 +1,8 @@
 #include "common/strings.h"
 
 #include <cctype>
-#include <cstdio>
-#include <cstdlib>
+#include <charconv>
+#include <system_error>
 
 namespace tcm {
 
@@ -45,21 +45,34 @@ std::string_view StripWhitespace(std::string_view text) {
   return text.substr(begin, end - begin);
 }
 
+// std::from_chars/std::to_chars instead of strtod/printf: the C calls
+// read LC_NUMERIC, so a host running under a comma-decimal locale (e.g.
+// de_DE) would misparse "3.5" and format 3.5 as "3,5" — numbers in CSV
+// cells and specs must not depend on the process's locale.
 bool ParseDouble(std::string_view text, double* out) {
   std::string_view stripped = StripWhitespace(text);
   if (stripped.empty()) return false;
-  std::string buffer(stripped);
-  char* end = nullptr;
-  double value = std::strtod(buffer.c_str(), &end);
-  if (end != buffer.c_str() + buffer.size()) return false;
+  // strtod accepted an explicit leading '+'; from_chars does not.
+  if (stripped.front() == '+') stripped.remove_prefix(1);
+  if (stripped.empty()) return false;
+  double value = 0.0;
+  auto result = std::from_chars(stripped.data(),
+                                stripped.data() + stripped.size(), value,
+                                std::chars_format::general);
+  if (result.ec != std::errc() ||
+      result.ptr != stripped.data() + stripped.size()) {
+    return false;
+  }
   *out = value;
   return true;
 }
 
 std::string FormatDouble(double value, int precision) {
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-  return buffer;
+  auto result = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                              std::chars_format::general, precision);
+  if (result.ec != std::errc()) return "0";  // cannot happen at this size
+  return std::string(buffer, result.ptr);
 }
 
 }  // namespace tcm

@@ -38,6 +38,17 @@ Result<ServeClient> ServeClient::Connect(const std::string& host,
   ServeClient client{LineChannel(fd)};
   TCM_ASSIGN_OR_RETURN(JsonValue hello, client.ReadEvent());
   const JsonValue* event = hello.Find("event");
+  if (event != nullptr && event->is_string() &&
+      event->string_value() == "error") {
+    // The server may reject a connection instead of greeting it (the
+    // connection cap). Surface its own message so callers can back off
+    // and retry rather than treating this as a protocol violation.
+    const JsonValue* message = hello.Find("message");
+    return Status::FailedPrecondition(
+        message != nullptr && message->is_string()
+            ? message->string_value()
+            : "server rejected the connection");
+  }
   const JsonValue* protocol = hello.Find("protocol");
   if (event == nullptr || !event->is_string() ||
       event->string_value() != "hello" || protocol == nullptr) {

@@ -1,8 +1,10 @@
 #include "serve/protocol.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -229,11 +231,15 @@ LineChannel& LineChannel::operator=(LineChannel&& other) noexcept {
 }
 
 Status LineChannel::WriteLine(const std::string& line) {
-  if (fd_ < 0) return Status::IoError("write on closed channel");
   std::string framed = line;
   framed.push_back('\n');
+  return WriteAll(framed);
+}
+
+Status LineChannel::WriteAll(std::string_view bytes) {
+  if (fd_ < 0) return Status::IoError("write on closed channel");
   size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < bytes.size()) {
 #ifdef MSG_NOSIGNAL
     // Suppress SIGPIPE so a vanished peer surfaces as EPIPE, not a
     // process kill.
@@ -241,7 +247,7 @@ Status LineChannel::WriteLine(const std::string& line) {
 #else
     const int flags = 0;
 #endif
-    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                        flags);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -267,6 +273,9 @@ Result<std::string> LineChannel::ReadLine() {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("read timed out (idle connection)");
+      }
       return Status::IoError(std::string("recv failed: ") +
                              std::strerror(errno));
     }
@@ -292,8 +301,43 @@ Result<std::string> LineChannel::ReadLine() {
   }
 }
 
+Result<size_t> LineChannel::ReadRaw(char* buffer, size_t size) {
+  if (fd_ < 0) return Status::IoError("read on closed channel");
+  if (size == 0) return size_t{0};
+  if (!buffer_.empty()) {
+    size_t n = std::min(size, buffer_.size());
+    std::memcpy(buffer, buffer_.data(), n);
+    buffer_.erase(0, n);
+    return n;
+  }
+  while (true) {
+    ssize_t n = ::recv(fd_, buffer, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("read timed out (idle connection)");
+      }
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+void LineChannel::SetReadTimeout(int ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 void LineChannel::ShutdownRead() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void LineChannel::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void LineChannel::Close() {

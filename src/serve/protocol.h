@@ -128,15 +128,39 @@ class LineChannel {
   // a newline (that would frame two messages).
   Status WriteLine(const std::string& line);
 
+  // Sends every byte of `bytes` unframed (the HTTP transport; responses
+  // are not newline-delimited). kIoError when the peer is gone.
+  Status WriteAll(std::string_view bytes);
+
   // Reads up to the next newline (stripped from the result). kIoError on
   // socket errors and at end of stream.
   Result<std::string> ReadLine();
+
+  // Reads up to `size` raw bytes, draining any bytes ReadLine buffered
+  // past its last returned line first. Returns 0 only at end of stream;
+  // kIoError on socket errors (including an expired read deadline).
+  Result<size_t> ReadRaw(char* buffer, size_t size);
+
+  // Applies a receive deadline to every subsequent read on this channel:
+  // a peer that stays silent for longer than `ms` makes the blocked
+  // ReadLine/ReadRaw fail with kIoError naming the timeout, so handler
+  // threads cannot be pinned forever by silent clients (slowloris).
+  // 0 clears the deadline.
+  void SetReadTimeout(int ms);
 
   // Shuts down the read side only: a ReadLine blocked in another thread
   // wakes with end-of-stream, while writes still flush. This is how the
   // server nudges idle connections during graceful drain without eating
   // their final events.
   void ShutdownRead();
+
+  // Shuts down both directions: queued bytes still flush, then the peer
+  // sees end-of-stream. The fd itself stays owned until Close() or
+  // destruction, so a concurrent ShutdownRead from another thread can
+  // never land on a recycled descriptor. Handlers call this when they
+  // are done serving a connection — the peer must observe EOF
+  // immediately, not when the connection object is eventually reaped.
+  void ShutdownBoth();
 
   void Close();
 

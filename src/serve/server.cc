@@ -26,9 +26,8 @@ JobServer::~JobServer() {
   Wait();
 }
 
-Status JobServer::Start() {
-  if (started_) return Status::FailedPrecondition("Start() called twice");
-
+Result<int> JobServer::BindListener(uint16_t port,
+                                    uint16_t* bound_port) const {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket failed: ") +
@@ -39,7 +38,7 @@ Status JobServer::Start() {
 
   sockaddr_in address{};
   address.sin_family = AF_INET;
-  address.sin_port = htons(options_.port);
+  address.sin_port = htons(port);
   if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
     ::close(fd);
     return Status::InvalidArgument("host must be a numeric IPv4 address, "
@@ -48,7 +47,7 @@ Status JobServer::Start() {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) <
       0) {
     Status status = Status::IoError("cannot bind " + options_.host + ":" +
-                                    std::to_string(options_.port) + ": " +
+                                    std::to_string(port) + ": " +
                                     std::strerror(errno));
     ::close(fd);
     return status;
@@ -69,14 +68,38 @@ Status JobServer::Start() {
     ::close(fd);
     return status;
   }
-  port_ = ntohs(bound.sin_port);
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+Status JobServer::Start() {
+  if (started_) return Status::FailedPrecondition("Start() called twice");
+
+  auto fd = BindListener(options_.port, &port_);
+  if (!fd.ok()) return fd.status();
+
+  int http_fd = -1;
+  if (options_.enable_http) {
+    auto bound = BindListener(options_.http_port, &http_port_);
+    if (!bound.ok()) {
+      ::close(*fd);
+      return bound.status();
+    }
+    http_fd = *bound;
+  }
 
   {
     MutexLock lock(shutdown_mutex_);
-    listen_fd_ = fd;
+    listen_fd_ = *fd;
+    http_listen_fd_ = http_fd;
   }
   started_ = true;
-  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  accept_thread_ =
+      std::thread([this, fd = *fd]() { AcceptLoop(fd, /*http=*/false); });
+  if (http_fd >= 0) {
+    http_accept_thread_ =
+        std::thread([this, http_fd]() { AcceptLoop(http_fd, /*http=*/true); });
+  }
   return Status::Ok();
 }
 
@@ -93,6 +116,7 @@ void JobServer::RequestShutdown() {
     // between the waiter's stopping_ check and its sleep.
     MutexLock lock(shutdown_mutex_);
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (http_listen_fd_ >= 0) ::shutdown(http_listen_fd_, SHUT_RDWR);
   }
   // Reject submissions immediately — drain itself happens in Wait().
   queue_->CloseSubmissions();
@@ -111,6 +135,7 @@ void JobServer::Wait() {
   }
 
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (http_accept_thread_.joinable()) http_accept_thread_.join();
 
   // Finish every queued and running job first — connection handlers
   // blocked in WaitForChange receive the terminal events while their
@@ -139,17 +164,16 @@ void JobServer::Wait() {
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
+    if (http_listen_fd_ >= 0) {
+      ::close(http_listen_fd_);
+      http_listen_fd_ = -1;
+    }
   }
 }
 
-void JobServer::AcceptLoop() {
-  // One copy under the lock; the descriptor stays valid for the loop's
-  // whole lifetime because Wait() joins this thread before closing it.
-  int listen_fd;
-  {
-    MutexLock lock(shutdown_mutex_);
-    listen_fd = listen_fd_;
-  }
+// The descriptor stays valid for the loop's whole lifetime because
+// Wait() joins this thread before closing it.
+void JobServer::AcceptLoop(int listen_fd, bool http) {
   while (!stopping_.load()) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -166,20 +190,45 @@ void JobServer::AcceptLoop() {
       ::close(fd);
       break;
     }
-    auto connection = std::make_unique<Connection>();
-    connection->channel = LineChannel(fd);
-    Connection* raw = connection.get();
-    {
-      MutexLock lock(connections_mutex_);
-      ReapFinishedConnectionsLocked();
-      connections_.push_back(std::move(connection));
-    }
-    raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
+    AdmitConnection(fd, http);
   }
   // If the loop died on an unexpected accept() error rather than an
   // orderly stop, turn it into a drain: a daemon that looks healthy but
   // can never accept again must exit, not linger as a zombie.
   if (!stopping_.load()) RequestShutdown();
+}
+
+void JobServer::AdmitConnection(int fd, bool http) {
+  auto connection = std::make_unique<Connection>();
+  connection->channel = LineChannel(fd);
+  connection->http = http;
+  Connection* raw = connection.get();
+  {
+    MutexLock lock(connections_mutex_);
+    ReapFinishedConnectionsLocked();
+    if (options_.max_connections > 0 &&
+        connections_.size() >= options_.max_connections) {
+      // Over the cap: tell the peer why in its own protocol and close.
+      // The rejection is written from the accept thread — both messages
+      // are far smaller than a socket send buffer, so this cannot
+      // block the listener on a slow peer.
+      MetricsRegistry::Global().IncrementCounter(
+          "serve.connections_rejected");
+      Status status = Status::FailedPrecondition(
+          "connection limit (" + std::to_string(options_.max_connections) +
+          ") reached; retry later");
+      JsonValue event = MakeErrorEvent(std::nullopt, status);
+      if (http) {
+        connection->channel.WriteAll(
+            WriteHttpResponse(503, event, /*keep_alive=*/false));
+      } else {
+        connection->channel.WriteLine(event.Write(-1));
+      }
+      return;  // `connection` closes the socket on destruction
+    }
+    connections_.push_back(std::move(connection));
+  }
+  raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
 }
 
 // Long-running daemons see many short-lived connections; joining the
@@ -198,15 +247,31 @@ void JobServer::ReapFinishedConnectionsLocked() {
 
 void JobServer::HandleConnection(Connection* connection) {
   LineChannel* channel = &connection->channel;
-  if (channel->WriteLine(MakeHelloEvent(options_.max_pending).Write(-1))
-          .ok()) {
+  if (options_.idle_timeout_ms > 0) {
+    channel->SetReadTimeout(options_.idle_timeout_ms);
+  }
+  if (connection->http) {
+    HttpFrontOptions front;
+    front.auth_token = options_.http_auth_token;
+    front.limits = options_.http_limits;
+    front.limits.idle_timeout_ms = options_.idle_timeout_ms;
+    ServeHttpConnection(channel, queue_.get(), front);
+  } else if (channel
+                 ->WriteLine(MakeHelloEvent(options_.max_pending).Write(-1))
+                 .ok()) {
     while (true) {
       auto line = channel->ReadLine();
-      if (!line.ok()) break;  // peer closed (or drain woke us)
+      if (!line.ok()) break;  // peer closed, went idle, or drain woke us
       if (line->find_first_not_of(" \t\r") == std::string::npos) continue;
       if (!HandleRequest(channel, *line)) break;
     }
   }
+  // Hang up now: the peer must see end-of-stream the moment serving
+  // ends, not when the connection object is reaped on some future
+  // accept. The fd stays allocated until the reaper destroys the
+  // channel, so Wait()'s concurrent ShutdownRead cannot hit a recycled
+  // descriptor.
+  channel->ShutdownBoth();
   // Publication order matters: this store is the handler's final
   // action, strictly after the last use of connection->channel, so the
   // reaper's acquire load + join sees a connection whose resources are

@@ -11,6 +11,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "serve/http.h"
 #include "serve/job_queue.h"
 #include "serve/protocol.h"
 
@@ -39,6 +40,28 @@ struct ServeOptions {
   // Honor the remote "shutdown" verb. Off, the verb is refused with
   // kUnimplemented and only RequestShutdown()/signals stop the daemon.
   bool allow_remote_shutdown = true;
+
+  // Concurrent connections across both fronts. Past the cap a new peer
+  // is told why on the wire — an error event (NDJSON) or a 503 (HTTP) —
+  // and closed, instead of silently growing one handler thread per
+  // accept without bound. 0 = uncapped (the embedder default; the
+  // tcm_serve daemon bounds it).
+  size_t max_connections = 0;
+
+  // Receive deadline applied to every connection: a peer silent for
+  // longer than this mid-read is dropped (its handler thread released),
+  // so idle or stalled clients cannot pin threads forever. 0 = none
+  // (the embedder default; the daemon bounds it).
+  int idle_timeout_ms = 0;
+
+  // HTTP/1.1 front (serve/http.h, README "HTTP serving"): the same
+  // verbs as routes on a second listener — the NDJSON protocol is
+  // hello-first, so one port cannot carry both. Shares the queue, the
+  // connection table, the cap and the idle timeout above.
+  bool enable_http = false;
+  uint16_t http_port = 0;       // 0 binds an ephemeral port (http_port())
+  std::string http_auth_token;  // empty = unauthenticated front
+  HttpLimits http_limits;       // head/body bounds + request deadline
 };
 
 // JobServer: the long-running tcm_serve daemon core. Listens on a TCP
@@ -74,6 +97,10 @@ class JobServer {
   // after a successful Start().
   uint16_t port() const { return port_; }
 
+  // The HTTP front's bound port. Valid after a successful Start() with
+  // options.enable_http; 0 when the front is off.
+  uint16_t http_port() const { return http_port_; }
+
   // Idempotent, non-blocking, callable from any thread including
   // connection handlers: stops the accept loop and rejects all further
   // job submissions. Drain happens in Wait().
@@ -92,6 +119,7 @@ class JobServer {
   struct Connection {
     LineChannel channel;
     std::thread thread;
+    bool http = false;  // which front accepted it
     // Set by the handler thread as its very last action, after the
     // final use of `channel`; published with release semantics and read
     // with acquire by the reaper, which then join()s the thread before
@@ -101,7 +129,16 @@ class JobServer {
     std::atomic<bool> done{false};
   };
 
-  void AcceptLoop() TCM_EXCLUDES(shutdown_mutex_, connections_mutex_);
+  // Binds host:port, listens, and returns the descriptor; `bound_port`
+  // receives the kernel's pick when `port` was 0.
+  Result<int> BindListener(uint16_t port, uint16_t* bound_port) const;
+  // One accept loop per front; `http` tags the connections it admits.
+  void AcceptLoop(int listen_fd, bool http)
+      TCM_EXCLUDES(shutdown_mutex_, connections_mutex_);
+  // Registers `fd` as a connection of the given front and spawns its
+  // handler — or, past options_.max_connections, rejects it on the wire
+  // and closes it.
+  void AdmitConnection(int fd, bool http) TCM_EXCLUDES(connections_mutex_);
   void HandleConnection(Connection* connection);
   // True while the connection should keep reading requests.
   bool HandleRequest(LineChannel* channel, const std::string& line);
@@ -111,13 +148,15 @@ class JobServer {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<JobQueue> queue_;
 
-  // Written once by Start() before the accept thread exists; reads from
+  // Written once by Start() before the accept threads exist; reads from
   // other threads see the values through the thread-creation
-  // happens-before edge. Not guarded: both are immutable after Start().
+  // happens-before edge. Not guarded: all are immutable after Start().
   uint16_t port_ = 0;
+  uint16_t http_port_ = 0;
   bool started_ = false;
 
   std::thread accept_thread_;
+  std::thread http_accept_thread_;
 
   std::atomic<bool> stopping_{false};
   mutable Mutex shutdown_mutex_;
@@ -128,6 +167,7 @@ class JobServer {
   // descriptor. Every touch after Start() therefore holds
   // shutdown_mutex_.
   int listen_fd_ TCM_GUARDED_BY(shutdown_mutex_) = -1;
+  int http_listen_fd_ TCM_GUARDED_BY(shutdown_mutex_) = -1;
   // Folded under shutdown_mutex_ so a second Wait() (e.g. explicit call
   // followed by the destructor's) observes the first one's completion
   // without relying on the caller to serialize.

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <clocale>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -268,6 +269,46 @@ TEST(StringsTest, FormatDoubleTrimsZeros) {
   EXPECT_EQ(FormatDouble(3.0), "3");
   EXPECT_EQ(FormatDouble(0.25), "0.25");
   EXPECT_EQ(FormatDouble(12.5, 3), "12.5");
+}
+
+// Regression for the LC_NUMERIC bug: number parsing and formatting used
+// to go through strtod/printf, which read the process locale — under a
+// comma-decimal locale (de_DE, fr_FR, ...) "3.5" misparsed as 3 and
+// 3.5 formatted as "3,5", corrupting CSV numerics, specs and JSON.
+// Skipped (not failed) where no comma-decimal locale is installed; CI
+// generates de_DE.UTF-8 so the regression stays live there.
+TEST(StringsTest, NumbersAreLocaleIndependent) {
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* comma_locale = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "it_IT.UTF-8", "es_ES.UTF-8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr &&
+        std::localeconv()->decimal_point[0] == ',') {
+      comma_locale = name;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    std::setlocale(LC_ALL, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  struct RestoreLocale {
+    std::string saved;
+    ~RestoreLocale() { std::setlocale(LC_ALL, saved.c_str()); }
+  } restore{saved};
+
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &value)) << "under " << comma_locale;
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_TRUE(ParseDouble("-2.25e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -0.00225);
+  // A comma is never a decimal separator on the wire, whatever the host
+  // locale says.
+  EXPECT_FALSE(ParseDouble("3,5", &value));
+
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
 }
 
 // ----------------------------------------------------------------- Timer

@@ -1,0 +1,312 @@
+// Robustness wall for the HTTP front (serve/http.h), in the style of
+// json_fuzz_test.cc: constructed adversarial requests plus a seeded
+// mutation corpus over a valid POST /jobs request, all thrown at a REAL
+// JobServer over real sockets. The front's contract under attack is
+// narrow and absolute — answer with a status or close the connection,
+// never crash, hang past its own deadlines, or stop serving well-formed
+// clients afterwards. Mutations are deterministic (fixed seeds), so a
+// failure here reproduces exactly.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/http.h"
+#include "tcm/api.h"
+
+namespace tcm {
+namespace {
+
+// A deliberately forgiving raw client: sends best-effort (the server
+// may rightfully close mid-write), reads with its own receive timeout
+// so a test can never hang on a silent peer.
+class FuzzClient {
+ public:
+  explicit FuzzClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~FuzzClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FuzzClient(const FuzzClient&) = delete;
+  FuzzClient& operator=(const FuzzClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (fd_ >= 0 && sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // peer closed on us: a legal outcome
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  // Drains whatever the server says until it closes or the receive
+  // timeout trips. Returns the raw bytes (possibly empty).
+  std::string DrainAll() {
+    std::string out;
+    char chunk[4096];
+    while (fd_ >= 0) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      out.append(chunk, static_cast<size_t>(n));
+      if (out.size() > (64u << 20)) break;  // runaway guard
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// The liveness probe between attacks: a fresh, well-formed request must
+// still be answered 200. This is the real assertion of every fuzz case
+// — whatever the garbage did, the server still serves.
+void ExpectServerHealthy(const JobServer& server) {
+  FuzzClient client(server.http_port());
+  ASSERT_TRUE(client.connected());
+  client.Send("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+              "\r\n");
+  const std::string response = client.DrainAll();
+  ASSERT_GE(response.size(), 12u) << "no response to a valid request";
+  EXPECT_EQ(response.compare(0, 12, "HTTP/1.1 200"), 0)
+      << response.substr(0, 64);
+}
+
+// A response, when present, must start with a status line of this
+// front's one version and a status it actually emits.
+void ExpectWellFormedIfAny(const std::string& response) {
+  if (response.empty()) return;  // closing without a word is legal
+  ASSERT_GE(response.size(), 12u) << response;
+  EXPECT_EQ(response.compare(0, 9, "HTTP/1.1 "), 0)
+      << response.substr(0, 64);
+  const int status = std::atoi(response.c_str() + 9);
+  EXPECT_TRUE((status >= 100 && status <= 101) ||
+              (status >= 200 && status <= 299) ||
+              (status >= 400 && status <= 599))
+      << status;
+}
+
+std::string SeedRequest() {
+  JobSpec spec;
+  spec.input.kind = InputKind::kSynthetic;
+  spec.input.generator = "uniform";
+  spec.input.rows = 80;
+  spec.input.seed = 9;
+  spec.algorithm.name = "tclose_first";
+  spec.algorithm.k = 5;
+  spec.algorithm.t = 0.3;
+  const std::string body = spec.ToJson().Write(-1);
+  return "POST /jobs HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// One structural mutation (mirrors json_fuzz's operator set, plus the
+// bytes HTTP framing cares about).
+std::string Mutate(const std::string& text, std::mt19937* rng) {
+  std::string out = text;
+  std::uniform_int_distribution<int> op_dist(0, 6);
+  auto position = [&](size_t size) {
+    return std::uniform_int_distribution<size_t>(0, size)(*rng);
+  };
+  switch (op_dist(*rng)) {
+    case 0: {  // truncate (the dropped-connection shape)
+      if (!out.empty()) out.resize(position(out.size() - 1));
+      break;
+    }
+    case 1: {  // flip one byte
+      if (!out.empty()) {
+        out[position(out.size() - 1)] = static_cast<char>(
+            std::uniform_int_distribution<int>(0, 255)(*rng));
+      }
+      break;
+    }
+    case 2: {  // insert a random byte
+      out.insert(out.begin() + static_cast<ptrdiff_t>(position(out.size())),
+                 static_cast<char>(
+                     std::uniform_int_distribution<int>(0, 255)(*rng)));
+      break;
+    }
+    case 3: {  // erase a span
+      if (!out.empty()) {
+        size_t begin = position(out.size() - 1);
+        size_t length = 1 + position(std::min<size_t>(32, out.size() -
+                                                              begin - 1));
+        out.erase(begin, length);
+      }
+      break;
+    }
+    case 4: {  // duplicate a slice somewhere else
+      if (!out.empty()) {
+        size_t begin = position(out.size() - 1);
+        size_t length = 1 + position(std::min<size_t>(16, out.size() -
+                                                              begin - 1));
+        out.insert(position(out.size()), out.substr(begin, length));
+      }
+      break;
+    }
+    case 5: {  // swap two bytes
+      if (out.size() >= 2) {
+        std::swap(out[position(out.size() - 1)],
+                  out[position(out.size() - 1)]);
+      }
+      break;
+    }
+    default: {  // splice framing characters where they hurt most
+      const char structural[] = {'\r', '\n', ':',  ' ', '/', '?',
+                                 '{',  '}',  '\\', '"', '\0'};
+      out.insert(out.begin() + static_cast<ptrdiff_t>(position(out.size())),
+                 structural[std::uniform_int_distribution<size_t>(
+                     0, sizeof(structural) - 1)(*rng)]);
+      break;
+    }
+  }
+  return out;
+}
+
+// One hardened server shared by every case in a test: modest limits, a
+// short request deadline and a short idle reap, so every attack — a
+// stalling mutation or a completed request left idling on keep-alive —
+// resolves within milliseconds, never minutes.
+ServeOptions FuzzOptions() {
+  ServeOptions options;
+  options.threads = 2;
+  options.enable_http = true;
+  options.http_limits.max_head_bytes = 16u << 10;
+  options.http_limits.max_body_bytes = 256u << 10;
+  options.http_limits.request_deadline_ms = 300;
+  options.idle_timeout_ms = 200;
+  return options;
+}
+
+TEST(HttpFuzzTest, ConstructedAdversarialRequests) {
+  JobServer server(FuzzOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string corpus[] = {
+      "",
+      "\r\n\r\n",
+      "\r\n\r\n\r\n\r\n",
+      "GET\r\n\r\n",
+      "GET /healthz\r\n\r\n",
+      "GET /healthz HTTP/1.1 extra\r\n\r\n",
+      "GET  /healthz  HTTP/1.1\r\n\r\n",
+      " GET /healthz HTTP/1.1\r\n\r\n",
+      "get /healthz HTTP/1.1\r\n\r\n",
+      "GET healthz HTTP/1.1\r\n\r\n",
+      "GET /healthz HTTP/9.9\r\n\r\n",
+      "GET /healthz SPDY/3\r\n\r\n",
+      "GET /healthz HTTP/1.1\r\nNoColonHere\r\n\r\n",
+      "GET /healthz HTTP/1.1\r\n: empty-name\r\n\r\n",
+      "GET /healthz HTTP/1.1\r\nBad Header: x\r\n\r\n",
+      "GET /healthz HTTP/1.1\r\nX: a\r\n folded\r\n\r\n",
+      "POST /jobs HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+      "POST /jobs HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
+      "POST /jobs HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+      "POST /jobs HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+      "POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+      "POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "0\r\n\r\n",
+      "OPTIONS * HTTP/1.1\r\n\r\n",
+      "CONNECT example.com:443 HTTP/1.1\r\n\r\n",
+      "GET http://example.com/ HTTP/1.1\r\n\r\n",
+      "GET /../../etc/passwd HTTP/1.1\r\n\r\n",
+      "GET /jobs/18446744073709551616 HTTP/1.1\r\n\r\n",  // > uint64
+      "GET /jobs/00000000000000000003 HTTP/1.1\r\n\r\n",  // 20 digits
+      "GET /jobs/-1 HTTP/1.1\r\n\r\n",
+      "GET /jobs/3x HTTP/1.1\r\n\r\n",
+      "GET /jobs/ HTTP/1.1\r\n\r\n",
+      std::string("GET /\0null HTTP/1.1\r\n\r\n", 24),
+      "GET /healthz HTTP/1.1\nHost: bare-lf\n\n",
+  };
+  for (const std::string& attack : corpus) {
+    FuzzClient client(server.http_port());
+    ASSERT_TRUE(client.connected());
+    client.Send(attack);
+    ExpectWellFormedIfAny(client.DrainAll());
+  }
+  ExpectServerHealthy(server);
+}
+
+TEST(HttpFuzzTest, MutatedRequestsNeverWedgeTheServer) {
+  JobServer server(FuzzOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string seed = SeedRequest();
+  std::mt19937 rng(0x7712C0DEu);
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = Mutate(seed, &rng);
+    const int extra = std::uniform_int_distribution<int>(0, 2)(rng);
+    for (int j = 0; j < extra; ++j) mutated = Mutate(mutated, &rng);
+    FuzzClient client(server.http_port());
+    ASSERT_TRUE(client.connected());
+    client.Send(mutated);
+    ExpectWellFormedIfAny(client.DrainAll());
+  }
+  ExpectServerHealthy(server);
+}
+
+TEST(HttpFuzzTest, TruncationLadderIsTotal) {
+  JobServer server(FuzzOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Every prefix of a valid request — the exact shape of a connection
+  // dropped mid-request — must be answered or dropped cleanly.
+  const std::string seed = SeedRequest();
+  const size_t step = seed.size() < 64 ? 1 : seed.size() / 64;
+  for (size_t cut = 0; cut < seed.size(); cut += step) {
+    FuzzClient client(server.http_port());
+    ASSERT_TRUE(client.connected());
+    client.Send(seed.substr(0, cut));
+    ExpectWellFormedIfAny(client.DrainAll());
+  }
+  ExpectServerHealthy(server);
+}
+
+TEST(HttpFuzzTest, GarbageFloodsAreBoundedByTheHeadLimit) {
+  JobServer server(FuzzOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A flood with no request structure at all: the head bound (431) or a
+  // drop must end it; memory stays bounded by max_head_bytes.
+  std::mt19937 rng(0xFEEDFACEu);
+  std::string garbage(256u << 10, '\0');
+  for (char& c : garbage) {
+    c = static_cast<char>(std::uniform_int_distribution<int>(1, 255)(rng));
+  }
+  FuzzClient client(server.http_port());
+  ASSERT_TRUE(client.connected());
+  client.Send(garbage);
+  ExpectWellFormedIfAny(client.DrainAll());
+  ExpectServerHealthy(server);
+}
+
+}  // namespace
+}  // namespace tcm

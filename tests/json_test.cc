@@ -2,6 +2,7 @@
 // backs the public Job API: strict parsing (rejection corpus), exact
 // round-trips, and deterministic output.
 
+#include <clocale>
 #include <string>
 #include <vector>
 
@@ -230,6 +231,40 @@ TEST(JsonFileTest, MissingFileIsIoError) {
   auto read = ReadJsonFile("/nonexistent/definitely/missing.json");
   ASSERT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+// Regression for the LC_NUMERIC bug: the parser/writer used to go
+// through strtod/printf, so a comma-decimal host locale misread "0.3"
+// and emitted "3,5" — invalid JSON. Skipped where no such locale is
+// installed; CI generates de_DE.UTF-8 so the regression stays live.
+TEST(JsonLocaleTest, ParseAndWriteAreLocaleIndependent) {
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* comma_locale = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "it_IT.UTF-8", "es_ES.UTF-8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr &&
+        std::localeconv()->decimal_point[0] == ',') {
+      comma_locale = name;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    std::setlocale(LC_ALL, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  struct RestoreLocale {
+    std::string saved;
+    ~RestoreLocale() { std::setlocale(LC_ALL, saved.c_str()); }
+  } restore{saved};
+
+  auto parsed = ParseJson(R"({"t": 0.3, "xs": [1.5, -2e-3]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString()
+                           << " under " << comma_locale;
+  EXPECT_DOUBLE_EQ(parsed->Find("t")->number_value(), 0.3);
+  EXPECT_DOUBLE_EQ(parsed->Find("xs")->at(0).number_value(), 1.5);
+  EXPECT_EQ(parsed->Write(-1), R"({"t":0.3,"xs":[1.5,-0.002]})");
+  EXPECT_EQ(JsonValue(2.5).Write(-1), "2.5");
 }
 
 }  // namespace

@@ -847,6 +847,91 @@ TEST(ServeShutdownTest, ConcurrentShutdownRequestsAndWaitAreSafe) {
   }
 }
 
+// ----- connection hardening (shared with the HTTP front) ------------------
+
+// The idle timeout reaps an NDJSON connection whose peer goes silent:
+// the handler's blocked ReadLine fails with the timeout IoError, the
+// connection closes, and the client sees end of stream — without any
+// shutdown being requested.
+TEST(ServeHardeningTest, IdleNdjsonConnectionIsReaped) {
+  ServeOptions options;
+  options.threads = 1;
+  options.idle_timeout_ms = 200;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = ConnectOrDie(server);
+
+  // Say nothing after the hello: the server must hang up on us.
+  const auto start = steady_clock::now();
+  auto event = client.ReadEvent();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           steady_clock::now() - start)
+                           .count();
+  EXPECT_FALSE(event.ok()) << event->Write(2);
+  EXPECT_LT(elapsed, 5 * 200) << "reap took " << elapsed << " ms";
+
+  // The daemon itself is untouched: a new, active client is served.
+  ServeClient fresh = ConnectOrDie(server);
+  ServeRequest ping;
+  ping.verb = ServeVerb::kPing;
+  ASSERT_TRUE(fresh.Send(ping).ok());
+  EXPECT_TRUE(fresh.ReadEvent().ok());
+}
+
+// An active connection is NOT reaped while it keeps talking, even when
+// every pause between its requests approaches the timeout.
+TEST(ServeHardeningTest, ActiveConnectionSurvivesTheIdleTimeout) {
+  ServeOptions options;
+  options.threads = 1;
+  options.idle_timeout_ms = 300;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client = ConnectOrDie(server);
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ServeRequest ping;
+    ping.verb = ServeVerb::kPing;
+    ASSERT_TRUE(client.Send(ping).ok());
+    auto pong = client.ReadEvent();
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString() << " at round " << i;
+    EXPECT_EQ(EventName(*pong), "pong");
+  }
+}
+
+// The connection cap: past it, a connecting NDJSON client is told why
+// in an error event (surfaced by ServeClient::Connect as the server's
+// own kFailedPrecondition message, not a protocol failure), and the
+// slot frees once an admitted connection goes away.
+TEST(ServeHardeningTest, ConnectionCapRejectsCleanlyAndRecovers) {
+  ServeOptions options;
+  options.threads = 1;
+  options.max_connections = 1;
+  JobServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    ServeClient first = ConnectOrDie(server);
+    // A round trip guarantees `first` is registered in the connection
+    // table before the second connect reaches the accept loop.
+    ServeRequest ping;
+    ping.verb = ServeVerb::kPing;
+    ASSERT_TRUE(first.Send(ping).ok());
+    ASSERT_TRUE(first.ReadEvent().ok());
+
+    auto second = ServeClient::Connect("127.0.0.1", server.port());
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition)
+        << second.status().ToString();
+    EXPECT_NE(second.status().message().find("connection limit"),
+              std::string::npos)
+        << second.status().ToString();
+  }  // first disconnects; its slot frees on the next accept's reap
+
+  ASSERT_TRUE(WaitUntil([&]() {
+    return ServeClient::Connect("127.0.0.1", server.port()).ok();
+  }));
+}
+
 // Regression companion to the Connection.done publication-ordering
 // audit: many short-lived connections force the accept loop's reap
 // sweep (done acquire-load + join) to run against handlers finishing

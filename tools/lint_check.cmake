@@ -155,6 +155,43 @@ execute_process(
   ERROR_VARIABLE output)
 expect_exit("drifted stats-schema pin" 3 "${result}" "${output}")
 
+# A README whose HTTP-status mapping table disagrees with
+# HttpStatusForCode (serve/http.h) fails the mapping check.
+set(HTTP_TREE "${WORK_DIR}/http_tree")
+file(MAKE_DIRECTORY "${HTTP_TREE}/tests/golden")
+string(REPLACE "| `InvalidSpec` | 422 |" "| `InvalidSpec` | 418 |"
+  readme_http "${readme}")
+if(readme_http STREQUAL readme)
+  message(FATAL_ERROR
+    "http drift setup: no \"| \`InvalidSpec\` | 422 |\" row in README")
+endif()
+file(WRITE "${HTTP_TREE}/README.md" "${readme_http}")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${HTTP_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("drifted HTTP status table" 3 "${result}" "${output}")
+if(NOT output MATCHES "InvalidSpec")
+  message(FATAL_ERROR
+    "drifted HTTP status table: failure does not name the code\n${output}")
+endif()
+
+# A section that silently dropped a route fails the route-presence pin.
+set(ROUTE_TREE "${WORK_DIR}/route_tree")
+file(MAKE_DIRECTORY "${ROUTE_TREE}/tests/golden")
+string(REPLACE "GET /metricsz" "GET /statz" readme_route "${readme}")
+if(readme_route STREQUAL readme)
+  message(FATAL_ERROR "route drift setup: no \"GET /metricsz\" in README")
+endif()
+file(WRITE "${ROUTE_TREE}/README.md" "${readme_route}")
+execute_process(
+  COMMAND ${TCM_LINT} --root ${ROUTE_TREE}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+expect_exit("dropped HTTP route" 3 "${result}" "${output}")
+
 # --- 6. IO and usage errors keep their contract codes. ---------------------
 execute_process(
   COMMAND ${TCM_LINT} --spec ${WORK_DIR}/definitely_missing.json
@@ -170,5 +207,6 @@ execute_process(
   ERROR_VARIABLE output)
 expect_exit("usage error" 2 "${result}" "${output}")
 
-message(STATUS "tcm_lint contract holds: clean tree 0, bad artifacts "
-  "and drifted docs/version pins 3, missing file 5, usage 2")
+message(STATUS "tcm_lint contract holds: clean tree 0, bad artifacts, "
+  "drifted docs/version pins and HTTP mapping drift 3, missing file 5, "
+  "usage 2")

@@ -12,7 +12,9 @@
 //
 //   2. Exit-code contract. The README "Exit codes" table must agree,
 //      code by code, with tools/exit_codes.h (this binary includes the
-//      header, so the constants cannot drift from the check).
+//      header, so the constants cannot drift from the check). Likewise
+//      the README "HTTP serving" status table must agree row-by-row
+//      with HttpStatusForCode (serve/http.h) and document every route.
 //
 //   3. Version pins. JobSpec::kVersion, RunReport::kVersion,
 //      kServeProtocolVersion, kStatsSchemaVersion and kTcmbFormatVersion
@@ -44,6 +46,7 @@
 #include "common/json.h"
 #include "common/result.h"
 #include "exit_codes.h"
+#include "serve/http.h"
 #include "serve/protocol.h"
 
 namespace tcm {
@@ -313,6 +316,96 @@ void CheckExitCodeTable(const std::string& readme_path,
   if (ok) report->Pass(readme_path + " (exit-code table)");
 }
 
+// The README "HTTP serving" section must carry the taxonomy-to-status
+// mapping exactly as HttpStatusForCode implements it (this binary
+// includes serve/http.h, so the function cannot drift from the check),
+// plus every route the front serves.
+void CheckHttpStatusTable(const std::string& readme_path,
+                          LintReport* report) {
+  auto text = ReadFile(readme_path);
+  if (!text) {
+    report->IoFail(readme_path, "cannot read file");
+    return;
+  }
+  size_t section = text->find("### HTTP serving");
+  if (section == std::string::npos) {
+    report->Fail(readme_path, "no \"### HTTP serving\" section");
+    return;
+  }
+  size_t section_end = text->find("\n## ", section);
+  const std::string body =
+      text->substr(section, section_end == std::string::npos
+                                ? std::string::npos
+                                : section_end - section);
+
+  // Collect "| `CodeName` | NNN |" rows (route-table rows have a
+  // non-numeric second cell and fall through).
+  std::vector<std::pair<std::string, int>> rows;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    size_t name_end = line.find('`', 3);
+    if (name_end == std::string::npos) continue;
+    size_t bar = line.find('|', name_end);
+    if (bar == std::string::npos) continue;
+    const std::string cell = line.substr(bar + 1);
+    char* end = nullptr;
+    long status = std::strtol(cell.c_str(), &end, 10);
+    if (end == cell.c_str()) continue;
+    while (end && (*end == ' ' || *end == '|')) ++end;
+    if (end && *end != '\0') continue;  // not a bare "| NNN |" cell
+    rows.emplace_back(line.substr(3, name_end - 3),
+                      static_cast<int>(status));
+  }
+
+  constexpr StatusCode kTaxonomy[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,   StatusCode::kInternal,
+      StatusCode::kIoError,      StatusCode::kUnimplemented,
+      StatusCode::kInvalidSpec,  StatusCode::kUnknownAlgorithm,
+      StatusCode::kPrivacyViolation};
+  bool ok = true;
+  for (StatusCode code : kTaxonomy) {
+    const std::string name = StatusCodeName(code);
+    const int expected = HttpStatusForCode(code);
+    int matches = 0;
+    bool value_ok = false;
+    for (const auto& [row_name, row_status] : rows) {
+      if (row_name != name) continue;
+      ++matches;
+      value_ok = row_status == expected;
+    }
+    if (matches != 1 || !value_ok) {
+      report->Fail(readme_path,
+                   "HTTP status table: `" + name +
+                       "` must appear exactly once mapping to " +
+                       std::to_string(expected));
+      ok = false;
+    }
+  }
+  const size_t taxonomy_count = sizeof(kTaxonomy) / sizeof(kTaxonomy[0]);
+  if (rows.size() != taxonomy_count) {
+    report->Fail(readme_path,
+                 "HTTP status table has " + std::to_string(rows.size()) +
+                     " code rows; HttpStatusForCode maps " +
+                     std::to_string(taxonomy_count));
+    ok = false;
+  }
+  for (const char* route :
+       {"POST /jobs", "GET /jobs/N", "DELETE /jobs/N", "GET /healthz",
+        "GET /metricsz"}) {
+    if (body.find(route) == std::string::npos) {
+      report->Fail(readme_path, std::string("HTTP serving section does "
+                                            "not document the route \"") +
+                                    route + "\"");
+      ok = false;
+    }
+  }
+  if (ok) report->Pass(readme_path + " (HTTP status table + routes)");
+}
+
 // ------------------------------------------------------------ version pins
 
 void CheckProtocolVersionPins(const std::string& path,
@@ -474,6 +567,7 @@ int Run(int argc, char** argv) {
     const std::string readme = (base / "README.md").string();
     CheckDocSnippets(readme, &report);
     CheckExitCodeTable(readme, &report);
+    CheckHttpStatusTable(readme, &report);
     CheckReadmeSchemaVersion(readme, &report);
     CheckTcmbFormatVersion(readme, &report);
     CheckProtocolVersionPins(readme, &report);

@@ -3,14 +3,27 @@
 // JSON (protocol in serve/protocol.h, README "Serving jobs").
 //
 //   tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]
-//             [--threads N] [--max-pending N] [--no-remote-shutdown]
-//             [--log-level LEVEL]
+//             [--http-port N] [--http-port-file FILE]
+//             [--auth-token TOKEN] [--max-connections N]
+//             [--idle-timeout-ms N] [--threads N] [--max-pending N]
+//             [--no-remote-shutdown] [--log-level LEVEL]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // logged to stderr and, with --port-file, written as a single line to
 // FILE once the daemon is accepting — scripts poll that file instead of
-// racing the bind. Jobs execute on a shared thread pool (--threads)
-// behind a bounded queue (--max-pending, backpressure for clients).
+// racing the bind. Port files are written to a temporary name and
+// renamed into place, so a poller never reads a half-written file. Jobs
+// execute on a shared thread pool (--threads) behind a bounded queue
+// (--max-pending, backpressure for clients).
+//
+// --http-port additionally serves the HTTP/1.1 front (README "HTTP
+// serving") on a second listener: the same verbs as routes, sharing the
+// queue with the NDJSON port. --auth-token requires "Authorization:
+// Bearer TOKEN" on every HTTP route but GET /healthz. --max-connections
+// (default 1024) caps concurrent connections across both fronts with a
+// clean wire-level rejection past the cap; --idle-timeout-ms (default
+// 300000) drops connections whose peer goes silent mid-read, so stalled
+// clients cannot pin handler threads.
 //
 // The daemon speaks structured key=value log lines on stderr (obs/log.h)
 // at level info by default — unlike the one-shot tools, which stay
@@ -42,9 +55,26 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: tcm_serve [--host A.B.C.D] [--port N] [--port-file FILE]\n"
-    "                 [--threads N] [--max-pending N]\n"
-    "                 [--max-terminal-jobs N] [--no-remote-shutdown]\n"
+    "                 [--http-port N] [--http-port-file FILE]\n"
+    "                 [--auth-token TOKEN] [--max-connections N]\n"
+    "                 [--idle-timeout-ms N] [--threads N]\n"
+    "                 [--max-pending N] [--max-terminal-jobs N]\n"
+    "                 [--no-remote-shutdown]\n"
     "                 [--log-level debug|info|warn|error|off]\n";
+
+// Writes "port\n" to `path` atomically: a temporary sibling first, then
+// rename into place, so a concurrent poller sees the old content or the
+// new — never a torn line.
+bool WritePortFile(const std::string& path, unsigned int port) {
+  const std::string temp = path + ".tmp";
+  std::FILE* out = std::fopen(temp.c_str(), "w");
+  if (out == nullptr) return false;
+  bool ok = std::fprintf(out, "%u\n", port) > 0;
+  ok = std::fclose(out) == 0 && ok;
+  ok = ok && std::rename(temp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(temp.c_str());
+  return ok;
+}
 
 // Self-pipe: the handler only writes a byte (async-signal-safe); a
 // watcher thread turns it into the orderly RequestShutdown call.
@@ -61,25 +91,39 @@ void HandleSignal(int) {
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
-  std::string port_file, log_level;
-  size_t port = 0, threads = 0, max_pending = 64;
+  std::string port_file, http_port_file, auth_token, log_level;
+  size_t port = 0, http_port = 0, threads = 0, max_pending = 64;
   size_t max_terminal_jobs = 1024;
+  size_t max_connections = 1024, idle_timeout_ms = 300000;
   bool no_remote_shutdown = false;
 
   tcm::tools::ArgParser parser(kUsage);
   parser.AddString("--host", &host);
   parser.AddSize("--port", &port);
   parser.AddString("--port-file", &port_file);
+  parser.AddSize("--http-port", &http_port);
+  parser.AddString("--http-port-file", &http_port_file);
+  parser.AddString("--auth-token", &auth_token);
+  parser.AddSize("--max-connections", &max_connections);
+  parser.AddSize("--idle-timeout-ms", &idle_timeout_ms);
   parser.AddSize("--threads", &threads);
   parser.AddSize("--max-pending", &max_pending);
   parser.AddSize("--max-terminal-jobs", &max_terminal_jobs);
   parser.AddFlag("--no-remote-shutdown", &no_remote_shutdown);
   parser.AddString("--log-level", &log_level);
   if (!parser.Parse(argc, argv)) return tcm::tools::kExitUsage;
-  if (port > 65535) {
-    std::fprintf(stderr, "--port must be in [0, 65535]\n%s", kUsage);
+  if (port > 65535 || http_port > 65535) {
+    std::fprintf(stderr, "--port/--http-port must be in [0, 65535]\n%s",
+                 kUsage);
     return tcm::tools::kExitUsage;
   }
+  if (idle_timeout_ms > 86400000) {
+    std::fprintf(stderr, "--idle-timeout-ms must be at most one day\n%s",
+                 kUsage);
+    return tcm::tools::kExitUsage;
+  }
+  const bool enable_http =
+      parser.Seen("--http-port") || parser.Seen("--http-port-file");
   if (parser.Seen("--log-level")) {
     tcm::LogLevel level = tcm::LogLevel::kInfo;
     if (!tcm::ParseLogLevel(log_level, &level)) {
@@ -102,6 +146,16 @@ int main(int argc, char** argv) {
   // 0 = unbounded retention, an explicit operator choice on a daemon.
   options.max_terminal_jobs = max_terminal_jobs;
   options.allow_remote_shutdown = !no_remote_shutdown;
+  // 0 = uncapped / no deadline, explicit operator choices on a daemon.
+  options.max_connections = max_connections;
+  options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
+  options.enable_http = enable_http;
+  options.http_port = static_cast<uint16_t>(http_port);
+  options.http_auth_token = auth_token;
+  // A whole HTTP request must land within this budget regardless of how
+  // slowly its bytes trickle in (the slowloris bound; distinct from the
+  // between-requests idle timeout above).
+  options.http_limits.request_deadline_ms = 30000;
 
   tcm::JobServer server(options);
   tcm::Status started = server.Start();
@@ -113,20 +167,23 @@ int main(int argc, char** argv) {
       .Msg("tcm_serve listening")
       .Kv("host", host)
       .Kv("port", static_cast<unsigned int>(server.port()))
+      .Kv("http_port", static_cast<unsigned int>(server.http_port()))
       .Kv("pid", static_cast<long>(::getpid()))
       .Kv("threads", threads)
       .Kv("max_pending", max_pending)
-      .Kv("max_terminal_jobs", max_terminal_jobs);
+      .Kv("max_terminal_jobs", max_terminal_jobs)
+      .Kv("max_connections", max_connections)
+      .Kv("idle_timeout_ms", idle_timeout_ms);
 
-  if (!port_file.empty()) {
-    std::FILE* out = std::fopen(port_file.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write port file %s\n",
-                   port_file.c_str());
-      return tcm::tools::kExitIoError;
-    }
-    std::fprintf(out, "%u\n", server.port());
-    std::fclose(out);
+  if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+    std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+    return tcm::tools::kExitIoError;
+  }
+  if (!http_port_file.empty() &&
+      !WritePortFile(http_port_file, server.http_port())) {
+    std::fprintf(stderr, "cannot write port file %s\n",
+                 http_port_file.c_str());
+    return tcm::tools::kExitIoError;
   }
 
   if (::pipe(g_signal_pipe) != 0) {
