@@ -62,6 +62,24 @@ bool QueryWantsWait(std::string_view query) {
   return false;
 }
 
+// Constant-time string equality for secrets: examines every byte of the
+// candidate (cycling over the expected value, so the loop length depends
+// only on attacker-supplied input) and folds the verdict into one
+// accumulator — no data-dependent early exit for response timing to
+// leak the matched prefix or the secret's length.
+bool ConstantTimeEquals(std::string_view candidate,
+                        std::string_view expected) {
+  unsigned char diff = candidate.size() == expected.size() ? 0 : 1;
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    const char against =
+        expected.empty() ? '\0' : expected[i % expected.size()];
+    diff |= static_cast<unsigned char>(
+        static_cast<unsigned char>(candidate[i]) ^
+        static_cast<unsigned char>(against));
+  }
+  return diff == 0;
+}
+
 // Strict non-negative decimal parse for Content-Length and /jobs/N ids.
 std::optional<uint64_t> ParseDecimal(std::string_view text) {
   if (text.empty() || text.size() > 19) return std::nullopt;
@@ -179,14 +197,9 @@ std::string WriteHttpResponse(int status, const JsonValue& body,
 // ------------------------------------------------------ HttpConnectionReader
 
 bool HttpConnectionReader::FillMore(bool* timed_out) {
-  *timed_out = false;
   char chunk[4096];
-  auto n = channel_->ReadRaw(chunk, sizeof(chunk));
-  if (!n.ok()) {
-    *timed_out =
-        n.status().message().find("timed out") != std::string::npos;
-    return false;
-  }
+  auto n = channel_->ReadRaw(chunk, sizeof(chunk), timed_out);
+  if (!n.ok()) return false;
   if (*n == 0) return false;  // end of stream
   buffer_.append(chunk, *n);
   return true;
@@ -233,10 +246,18 @@ HttpConnectionReader::ReadResult HttpConnectionReader::Read() {
                  std::chrono::milliseconds(limits_.request_deadline_ms);
     }
     arm_read_timeout();
-    head_end = buffer_.find("\r\n\r\n");
-    separator = 4;
-    if (head_end == std::string::npos) {
-      head_end = buffer_.find("\n\n");  // tolerate bare-LF clients
+    // Both separators are searched and the EARLIER boundary wins: a
+    // bare-LF head followed in the same buffer by pipelined CRLF data
+    // must end at its own blank line, not at the later CRLF one (which
+    // would swallow the next request into this head).
+    const size_t crlf = buffer_.find("\r\n\r\n");
+    const size_t bare = buffer_.find("\n\n");  // tolerate bare-LF clients
+    if (crlf != std::string::npos &&
+        (bare == std::string::npos || crlf < bare)) {
+      head_end = crlf;
+      separator = 4;
+    } else {
+      head_end = bare;
       separator = 2;
     }
     if (head_end != std::string::npos) break;
@@ -361,10 +382,22 @@ HttpConnectionReader::ReadResult HttpConnectionReader::Read() {
                          "chunked transfer encoding is not supported; "
                          "send Content-Length"));
   }
+  // Exactly one Content-Length may frame the body. Repeats — even
+  // agreeing ones — are rejected outright: a proxy in front of the
+  // daemon may frame by a different occurrence, which is the classic
+  // request-smuggling split (RFC 9110 §8.6).
+  const std::string* length_header = nullptr;
+  for (const auto& header : result.request.headers) {
+    if (header.first != "content-length") continue;
+    if (length_header != nullptr) {
+      return fail(400, Status::InvalidArgument(
+                           "duplicate Content-Length headers"));
+    }
+    length_header = &header.second;
+  }
   uint64_t content_length = 0;
-  if (const std::string* header =
-          result.request.FindHeader("content-length")) {
-    auto parsed = ParseDecimal(*header);
+  if (length_header != nullptr) {
+    auto parsed = ParseDecimal(*length_header);
     if (!parsed.has_value()) {
       return fail(400,
                   Status::InvalidArgument("malformed Content-Length"));
@@ -518,7 +551,8 @@ bool HandleHttpRequest(LineChannel* channel, JobQueue* queue,
   // health-check a token-protected daemon.
   if (!options.auth_token.empty() && request.path != "/healthz") {
     const std::string* auth = request.FindHeader("authorization");
-    if (auth == nullptr || *auth != "Bearer " + options.auth_token) {
+    const std::string expected = "Bearer " + options.auth_token;
+    if (auth == nullptr || !ConstantTimeEquals(*auth, expected)) {
       Status status = Status::FailedPrecondition(
           "missing or invalid bearer token");
       Respond(channel, request, 401, MakeErrorEvent(std::nullopt, status),

@@ -301,7 +301,9 @@ Result<std::string> LineChannel::ReadLine() {
   }
 }
 
-Result<size_t> LineChannel::ReadRaw(char* buffer, size_t size) {
+Result<size_t> LineChannel::ReadRaw(char* buffer, size_t size,
+                                    bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
   if (fd_ < 0) return Status::IoError("read on closed channel");
   if (size == 0) return size_t{0};
   if (!buffer_.empty()) {
@@ -315,6 +317,7 @@ Result<size_t> LineChannel::ReadRaw(char* buffer, size_t size) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (timed_out != nullptr) *timed_out = true;
         return Status::IoError("read timed out (idle connection)");
       }
       return Status::IoError(std::string("recv failed: ") +

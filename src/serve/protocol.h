@@ -139,7 +139,11 @@ class LineChannel {
   // Reads up to `size` raw bytes, draining any bytes ReadLine buffered
   // past its last returned line first. Returns 0 only at end of stream;
   // kIoError on socket errors (including an expired read deadline).
-  Result<size_t> ReadRaw(char* buffer, size_t size);
+  // When `timed_out` is non-null it is set to whether the failure was
+  // an expired read deadline — a typed signal, so callers never have to
+  // infer the condition from the Status message text.
+  Result<size_t> ReadRaw(char* buffer, size_t size,
+                         bool* timed_out = nullptr);
 
   // Applies a receive deadline to every subsequent read on this channel:
   // a peer that stays silent for longer than `ms` makes the blocked

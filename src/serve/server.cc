@@ -227,8 +227,15 @@ void JobServer::AdmitConnection(int fd, bool http) {
       return;  // `connection` closes the socket on destruction
     }
     connections_.push_back(std::move(connection));
+    // Spawn while still holding connections_mutex_. With two accept
+    // loops the other thread can reap concurrently; if this assignment
+    // ran unlocked and the handler finished first, the reaper would see
+    // done==true with a not-yet-joinable thread, erase the Connection,
+    // and the assignment would write into freed memory. Handlers never
+    // take connections_mutex_, so holding it across the spawn cannot
+    // deadlock.
+    raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
   }
-  raw->thread = std::thread([this, raw]() { HandleConnection(raw); });
 }
 
 // Long-running daemons see many short-lived connections; joining the

@@ -534,6 +534,37 @@ TEST(HttpHardeningTest, UnsupportedVersionIs505) {
   EXPECT_EQ(StatusOf(client.ReadResponse()), 505);
 }
 
+// Conflicting Content-Length repeats are the classic request-smuggling
+// split (a fronting proxy may frame by the other occurrence), so any
+// repeat — even an agreeing one — is refused outright.
+TEST(HttpHardeningTest, DuplicateContentLengthIs400) {
+  JobServer server(HttpOptions());
+  ASSERT_TRUE(server.Start().ok());
+  RawClient client(server.http_port());
+  client.Send("POST /jobs HTTP/1.1\r\nHost: x\r\n"
+              "Content-Length: 2\r\nContent-Length: 44\r\n\r\n{}");
+  std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 400) << response;
+  EXPECT_TRUE(client.AtEof());
+}
+
+// A bare-LF head must end at its own blank line even when pipelined
+// CRLF data already sits in the buffer behind it — the later CRLF
+// boundary must not swallow the second request into the first head.
+TEST(HttpHardeningTest, BareLfHeadDoesNotSwallowPipelinedCrlfRequest) {
+  JobServer server(HttpOptions());
+  ASSERT_TRUE(server.Start().ok());
+  RawClient client(server.http_port());
+  client.Send("GET /healthz HTTP/1.1\nHost: x\n\n"
+              "GET /metricsz HTTP/1.1\r\nHost: x\r\n\r\n");
+  std::string first = client.ReadResponse();
+  EXPECT_EQ(StatusOf(first), 200) << first;
+  EXPECT_EQ(EventName(BodyOf(first)), "pong");
+  std::string second = client.ReadResponse();
+  EXPECT_EQ(StatusOf(second), 200) << second;
+  EXPECT_EQ(EventName(BodyOf(second)), "stats");
+}
+
 // The slowloris probe: a peer that starts a request and then trickles
 // nothing must be answered 408 and evicted within a small multiple of
 // the request deadline — it cannot pin a handler thread.
